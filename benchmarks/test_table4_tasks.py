@@ -1,0 +1,75 @@
+"""Table 4a–d: per-task agent performance plus the non-LLM baselines.
+
+Shape targets (paper):
+  (a) detection — FLASH answers everything; all LLM agents beat MKSMC;
+  (b) localization — LLM agents beat PDiagnose/RMLAD; list-submitting
+      agents (ReAct/FLASH) show acc@3 ≥ acc@1;
+  (c) RCA — the hardest labelling task: every agent under ~55%;
+  (d) mitigation — hardest overall: GPT-3.5 recovers nothing, FLASH leads.
+"""
+
+import pytest
+
+from repro.baselines import run_baseline_suite
+from repro.bench import render_table, table4_by_task
+from benchmarks.conftest import BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    return {
+        "mksmc": run_baseline_suite("mksmc", seed=BENCH_SEED),
+        "pdiagnose": run_baseline_suite("pdiagnose", seed=BENCH_SEED),
+        "rmlad": run_baseline_suite("rmlad", seed=BENCH_SEED),
+    }
+
+
+@pytest.fixture(scope="module")
+def tables(suite_results, baselines):
+    return table4_by_task(suite_results, baselines=baselines)
+
+
+def _acc(rows, agent, col=1):
+    row = next(r for r in rows if r[0] == agent)
+    return float(str(row[col]).rstrip("%"))
+
+
+def test_table4a_detection(benchmark, tables, baselines):
+    headers, rows = benchmark(lambda: tables["detection"])
+    print()
+    print(render_table(headers, rows, "Table 4a — detection"))
+    assert _acc(rows, "FLASH") == 100.0        # paper: FLASH answers all
+    for agent in ("GPT-4-W-SHELL", "REACT", "FLASH"):
+        assert _acc(rows, agent) > baselines["mksmc"]["accuracy"] * 100
+
+
+def test_table4b_localization(benchmark, tables, baselines):
+    headers, rows = benchmark(lambda: tables["localization"])
+    print()
+    print(render_table(headers, rows, "Table 4b — localization"))
+    for agent in ("GPT-4-W-SHELL", "REACT", "FLASH"):
+        assert _acc(rows, agent) > baselines["pdiagnose"]["accuracy"] * 100
+        assert _acc(rows, agent) > baselines["rmlad"]["accuracy"] * 100
+    # list submitters: acc@3 (col 1) >= acc@1 (col 2)
+    for agent in ("REACT", "FLASH"):
+        assert _acc(rows, agent, col=1) >= _acc(rows, agent, col=2)
+
+
+def test_table4c_rca(benchmark, tables):
+    headers, rows = benchmark(lambda: tables["analysis"])
+    print()
+    print(render_table(headers, rows, "Table 4c — root cause analysis"))
+    # RCA is hard for everyone (paper: 9-45%)
+    for row in rows:
+        assert float(str(row[1]).rstrip("%")) <= 60.0
+    assert _acc(rows, "GPT-3.5-W-SHELL") == min(
+        float(str(r[1]).rstrip("%")) for r in rows)
+
+
+def test_table4d_mitigation(benchmark, tables):
+    headers, rows = benchmark(lambda: tables["mitigation"])
+    print()
+    print(render_table(headers, rows, "Table 4d — mitigation"))
+    assert _acc(rows, "GPT-3.5-W-SHELL") == 0.0   # paper: recovers nothing
+    best = max(rows, key=lambda r: float(str(r[1]).rstrip("%")))
+    assert best[0] == "FLASH"                      # paper: FLASH leads

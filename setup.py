@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so `pip install -e . --no-use-pep517` works in
+offline environments that lack the `wheel` package (PEP 517 editable
+installs require building a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""AIOpsLab reproduction — evaluate AI agents for autonomous clouds.
+
+Reproduction of *AIOpsLab: A Holistic Framework to Evaluate AI Agents for
+Enabling Autonomous Clouds* (MLSys 2025).  Top-level re-exports cover the
+public workflow: define or pick a problem, orchestrate an agent against the
+deployed environment, evaluate.
+
+>>> from repro import Orchestrator, LocalizationTask
+>>> orch = Orchestrator(seed=0)
+>>> ctx = orch.init_problem(LocalizationTask("TargetPortMisconfig"))
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    AnalysisTask,
+    CloudEnvironment,
+    DetectionTask,
+    IncidentLifecycle,
+    LlmJudge,
+    LocalizationTask,
+    MitigationTask,
+    Orchestrator,
+    Problem,
+    TaskActions,
+)
+from repro.apps import HotelReservation, SocialNetwork
+from repro.agents import AGENT_NAMES, build_agent
+from repro.problems import benchmark_pids, get_problem, list_problems
+from repro.workload import Wrk
+
+#: paper-style aliases (Example 2.1 imports ``VirtFaultInjector`` and
+#: ``Wrk`` directly from the framework package)
+from repro.faults import (  # noqa: F401  (re-export)
+    ApplicationFaultInjector,
+    SymptomaticFaultInjector,
+    VirtFaultInjector,
+)
+
+__all__ = [
+    "__version__",
+    "AnalysisTask",
+    "CloudEnvironment",
+    "DetectionTask",
+    "IncidentLifecycle",
+    "LlmJudge",
+    "LocalizationTask",
+    "MitigationTask",
+    "Orchestrator",
+    "Problem",
+    "TaskActions",
+    "HotelReservation",
+    "SocialNetwork",
+    "AGENT_NAMES",
+    "build_agent",
+    "benchmark_pids",
+    "get_problem",
+    "list_problems",
+    "Wrk",
+    "ApplicationFaultInjector",
+    "SymptomaticFaultInjector",
+    "VirtFaultInjector",
+]

@@ -1,0 +1,76 @@
+"""Base agent scaffold: prompt assembly, stats accounting, the ACI contract."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.agents.llm import LLMResponse, ModelProfile, PROFILES, SimulatedLLM
+
+
+class AgentBase:
+    """Common scaffold for all registered agents.
+
+    The Orchestrator's only requirement (§2.2.2) is
+    ``async def get_action(state: str) -> str``; everything else here is the
+    agent's own business: building the system prompt from the problem
+    context, calling its model, and keeping token/latency stats that the
+    Orchestrator may collect via :meth:`consume_stats`.
+
+    Parameters
+    ----------
+    prob_desc / instructs / apis:
+        The context returned by ``orchestrator.init_problem``.
+    profile:
+        Model profile name (see :data:`~repro.agents.llm.PROFILES`) or a
+        :class:`ModelProfile`.
+    task_type:
+        The task this problem instance poses (parsed from the pid by the
+        registry helper when using :func:`repro.agents.build_agent`).
+    """
+
+    profile_name: str = "gpt-4-w-shell"
+
+    def __init__(self, prob_desc: str, instructs: str, apis: str,
+                 task_type: str, profile: Optional[str | ModelProfile] = None,
+                 seed: int = 0) -> None:
+        resolved = profile or self.profile_name
+        if isinstance(resolved, str):
+            resolved = PROFILES[resolved]
+        self.profile: ModelProfile = resolved
+        self.prompt = self.set_prompt(prob_desc, instructs, apis)
+        self.llm = SimulatedLLM(self.profile, task_type, prob_desc, seed=seed)
+        self._pending_stats: tuple[int, int, float] = (0, 0, 0.0)
+        self.history: list[tuple[str, str]] = []  # (state, action)
+
+    # -- prompt -----------------------------------------------------------
+    def set_prompt(self, prob_desc: str, instructs: str, apis: str) -> str:
+        return (
+            f"{prob_desc}\n\n{instructs}\n\nAvailable APIs:\n{apis}\n"
+        )
+
+    # -- the Orchestrator contract ---------------------------------------
+    async def get_action(self, state: str) -> str:
+        response = self.step(state)
+        self._pending_stats = (
+            self._pending_stats[0] + response.input_tokens,
+            self._pending_stats[1] + response.output_tokens,
+            self._pending_stats[2] + response.latency_s,
+        )
+        action = self.render_action(response)
+        self.history.append((state, action))
+        return action
+
+    def consume_stats(self) -> tuple[int, int, float]:
+        """(input_tokens, output_tokens, latency_s) since the last call."""
+        stats = self._pending_stats
+        self._pending_stats = (0, 0, 0.0)
+        return stats
+
+    # -- subclass hooks -------------------------------------------------------
+    def step(self, state: str) -> LLMResponse:
+        """One model call; subclasses may add extra calls (e.g. hindsight)."""
+        return self.llm.decide(state)
+
+    def render_action(self, response: LLMResponse) -> str:
+        """How the model output is surfaced to the Orchestrator."""
+        return response.text

@@ -1,0 +1,16 @@
+"""GPT-W-SHELL: a naive baseline — an LLM with a secure shell (§3.1).
+
+Two registered variants share this scaffold: ``gpt-4-w-shell`` and
+``gpt-3.5-w-shell``.  The scaffold does nothing beyond prompting the model
+with the problem context and forwarding its raw action strings.
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import AgentBase
+
+
+class GptWithShellAgent(AgentBase):
+    """The GPT-w-shell baseline agent (model chosen by profile)."""
+
+    profile_name = "gpt-4-w-shell"

@@ -1,0 +1,595 @@
+"""The grounded diagnostic policy: belief tracking and next-action planning.
+
+This is the "brain" behind :class:`~repro.agents.llm.SimulatedLLM`.  It may
+only use information that actually flowed through the ACI — it parses
+observations (log lines, kubectl tables, helm output) into a
+:class:`Belief`, infers a :class:`Diagnosis`, and plans the next action for
+the current task.  Capability limits (misreading a signature, picking a
+wrong mitigation) are applied *on top* by the model profile, so weaker
+models degrade realistically rather than by coin-flip answers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simcore import RngStream
+
+#: fault keys the policy can diagnose, with their RCA ground-truth mapping
+RCA_MAP: dict[str, tuple[str, str]] = {
+    "misconfig_k8s": ("virtualization", "misconfiguration"),
+    "scale_pod_zero": ("virtualization", "operation_error"),
+    "assign_to_non_existent_node": ("virtualization", "misconfiguration"),
+    "auth_missing": ("virtualization", "misconfiguration"),
+    "revoke_auth": ("application", "operation_error"),
+    "user_unregistered": ("application", "operation_error"),
+    "buggy_app_image": ("application", "code_bug"),
+    "network_loss": ("network", "network_loss"),
+    "pod_failure": ("virtualization", "pod_failure"),
+}
+
+
+@dataclass
+class Diagnosis:
+    """The policy's current best root-cause hypothesis."""
+
+    fault_key: str
+    target: str
+    confidence: float = 0.5
+    evidence: str = ""
+
+
+@dataclass
+class Belief:
+    """Everything the agent has learned through the ACI so far."""
+
+    namespace: str = ""
+    app_services: list[str] = field(default_factory=list)
+    release_name: str = ""
+    error_counts: dict[str, int] = field(default_factory=dict)
+    #: callee -> signature seen on a failed RPC edge
+    edge_signatures: dict[str, str] = field(default_factory=dict)
+    trace_error_services: list[str] = field(default_factory=list)
+    endpoints_empty: set[str] = field(default_factory=set)
+    pods_status: dict[str, str] = field(default_factory=dict)      # svc -> status
+    deployments_desired: dict[str, int] = field(default_factory=dict)
+    deployments_ready: dict[str, int] = field(default_factory=dict)
+    deploy_ports: dict[str, int] = field(default_factory=dict)
+    deploy_images: dict[str, str] = field(default_factory=dict)
+    mongo_pods: dict[str, str] = field(default_factory=dict)       # svc -> pod
+    secret_creds: dict[str, tuple[str, str]] = field(default_factory=dict)
+    helm_missing_creds: set[str] = field(default_factory=set)
+    helm_values_seen: bool = False
+    service_target_ports: dict[str, int] = field(default_factory=dict)
+    checked_logs: bool = False
+    checked_metrics: bool = False
+    checked_traces: bool = False
+    checked_pods: bool = False
+    checked_deployments: bool = False
+    checked_endpoints: bool = False
+    metrics_errors: dict[str, float] = field(default_factory=dict)
+    diagnosis: Optional[Diagnosis] = None
+    mitigation_done: list[str] = field(default_factory=list)
+    #: targets a fix was already issued for (never re-fixed — one shot each)
+    fixed_targets: set[str] = field(default_factory=set)
+    #: metrics need re-pulling before trusting them post-fix
+    metrics_stale: bool = False
+    #: consecutive fruitless verification rounds (bounded re-investigation)
+    verify_rounds: int = 0
+    last_error_observation: str = ""
+
+    def any_fault_evidence(self) -> bool:
+        return bool(
+            self.error_counts or self.edge_signatures
+            or any(s in ("CrashLoopBackOff", "Pending")
+                   for s in self.pods_status.values())
+            or any(v > 0.05 for v in self.metrics_errors.values())
+        )
+
+
+# ---------------------------------------------------------------------------
+# observation parsing
+# ---------------------------------------------------------------------------
+_ERR_COUNT_RE = re.compile(r"^\s{2}([\w-]+): (\d+) ERROR lines", re.M)
+_EDGE_RE = re.compile(r"failed to call ([\w-]+)\.[\w-]+: (.+)")
+_POD_STATUSES = ("Running", "Pending", "CrashLoopBackOff", "Terminating",
+                 "Failed", "Succeeded", "Unknown", "Completed")
+_POD_ROW_RE = re.compile(
+    r"^([\w-]+)\s+\d+/\d+\s+(" + "|".join(_POD_STATUSES) + r")\s", re.M)
+_DEPLOY_ROW_RE = re.compile(r"^([\w-]+)\s+(\d+)/(\d+)\s+\d+\s+\d+\s", re.M)
+_EP_EMPTY_RE = re.compile(r"^([\w-]+)\s+<none>", re.M)
+_EP_ROW_RE = re.compile(r"^([\w-]+)\s+\d+\.\d+\.\d+\.\d+:", re.M)
+_SVC_TP_RE = re.compile(r"Name:\s+([\w-]+)[\s\S]*?TargetPort:\s+(\d+)/TCP")
+_DEPLOY_PORT_RE = re.compile(
+    r"Container ([\w-]+): image=([^\s,]+), ports=\[(\d+)\]")
+_SECRET_NAME_RE = re.compile(r"Name:\s+([\w-]+)-credentials")
+_SECRET_USER_RE = re.compile(r"username:\s+(\S+)")
+_SECRET_PASS_RE = re.compile(r"password:\s+(\S+)")
+_HELM_NONE_RE = re.compile(r"'([\w-]+)': None")
+_TRACE_ERR_RE = re.compile(r"^\s{2}([\w-]+): (\d+)% of spans errored", re.M)
+_METRIC_ERR_RE = re.compile(r"^\s{2}([\w-]+): cpu=\S+ req_rate=\S+ err_rate=(\d+\.\d+)/s", re.M)
+_PANIC_RE = re.compile(r"\[([\w-]+)\] panic: (.+)")
+
+_SIGNATURES = (
+    ("not authorized on", "revoke_auth"),
+    ("Authentication failed", "auth_missing"),
+    ("Could not find user", "user_unregistered"),
+    ("panic: failed to initialize connection pool", "buggy_app_image"),
+    ("connection refused", "connectivity"),
+    ("packet dropped", "network_loss"),
+    ("connection to", "network_loss"),
+)
+
+
+def _owner_of(pod_name: str) -> str:
+    """``user-service-1abcd2efg-xyz12`` → ``user-service``."""
+    parts = pod_name.rsplit("-", 2)
+    return parts[0] if len(parts) == 3 else pod_name
+
+
+class DiagnosticPolicy:
+    """Parses observations, maintains the belief, plans the next action.
+
+    Parameters
+    ----------
+    task_type:
+        ``detection`` / ``localization`` / ``analysis`` / ``mitigation``.
+    rng:
+        Stream used for tie-breaking flail actions (so runs reproduce).
+    use_traces:
+        Whether the planner will ever call ``get_traces`` (FLASH does not —
+        Figure 6).
+    """
+
+    def __init__(self, task_type: str, rng: RngStream,
+                 use_traces: bool = True) -> None:
+        self.task_type = task_type
+        self.rng = rng
+        self.use_traces = use_traces
+        self.belief = Belief()
+        #: True when the most recent planned action was a mitigation fix
+        #: (the profile's mitigation_skill gate keys on this)
+        self.last_plan_was_fix = False
+
+    # ------------------------------------------------------------------
+    # context ingestion
+    # ------------------------------------------------------------------
+    def ingest_context(self, prob_desc: str) -> None:
+        m = re.search(r'namespace\s+"([^"]+)"', prob_desc)
+        if m:
+            self.belief.namespace = m.group(1)
+        m = re.search(r"Services: ([^.]+)\.", prob_desc)
+        if m:
+            self.belief.app_services = [s.strip() for s in m.group(1).split(",")]
+
+    def ingest_observation(self, obs: str) -> None:
+        b = self.belief
+        if obs.startswith("Error:") or obs.startswith("PolicyError:"):
+            b.last_error_observation = obs
+            return
+        b.last_error_observation = ""
+        for svc, n in _ERR_COUNT_RE.findall(obs):
+            b.error_counts[svc] = max(b.error_counts.get(svc, 0), int(n))
+        for callee, detail in _EDGE_RE.findall(obs):
+            sig = self._classify(detail)
+            # connection-refused details name the actually unreachable
+            # service, which may be deeper than the direct callee
+            m_inner = re.search(r'service "([\w-]+)" port', detail)
+            if m_inner:
+                callee = m_inner.group(1)
+            elif sig in ("revoke_auth", "auth_missing", "user_unregistered"):
+                # auth errors carry the database name — map it back to the
+                # mongodb service even when observed on an upstream edge
+                m_db = re.search(r'([\w-]+?)-db', detail)
+                if m_db:
+                    short = m_db.group(1).split()[-1].strip('"')
+                    mongos = [s for s in b.app_services
+                              if "mongo" in s and short in s]
+                    if mongos:
+                        callee = mongos[0]
+            b.edge_signatures.setdefault(callee, sig)
+        for svc, detail in _PANIC_RE.findall(obs):
+            b.edge_signatures.setdefault(svc, "buggy_app_image")
+        for pod, status in _POD_ROW_RE.findall(obs):
+            svc = _owner_of(pod)
+            b.pods_status[svc] = status
+            if svc.startswith("mongodb") or svc.endswith("mongodb"):
+                b.mongo_pods[svc] = pod
+            b.checked_pods = True
+        if "CrashLoopBackOff" in obs:
+            for m in re.finditer(r"^([\w-]+)\s+\d+/\d+\s+CrashLoopBackOff", obs,
+                                 re.M):
+                b.pods_status[_owner_of(m.group(1))] = "CrashLoopBackOff"
+        for name, ready, desired in _DEPLOY_ROW_RE.findall(obs):
+            b.deployments_ready[name] = int(ready)
+            b.deployments_desired[name] = int(desired)
+            b.checked_deployments = True
+        if "ENDPOINTS" in obs:
+            b.checked_endpoints = True
+            for svc in _EP_EMPTY_RE.findall(obs):
+                b.endpoints_empty.add(svc)
+            for svc in _EP_ROW_RE.findall(obs):
+                b.endpoints_empty.discard(svc)
+        m = _SVC_TP_RE.search(obs)
+        if m:
+            b.service_target_ports[m.group(1)] = int(m.group(2))
+        for cname, image, port in _DEPLOY_PORT_RE.findall(obs):
+            b.deploy_ports[cname] = int(port)
+            b.deploy_images[cname] = image
+        m = _SECRET_NAME_RE.search(obs)
+        if m:
+            mu = _SECRET_USER_RE.search(obs)
+            mp = _SECRET_PASS_RE.search(obs)
+            if mu and mp:
+                b.secret_creds[m.group(1)] = (mu.group(1), mp.group(1))
+        if "USER-SUPPLIED VALUES" in obs:
+            b.helm_values_seen = True
+            for svc in _HELM_NONE_RE.findall(obs):
+                b.helm_missing_creds.add(svc)
+            for m2 in re.finditer(
+                    r"'([\w-]+)': \{'username': '([^']+)', 'password': '([^']+)'\}",
+                    obs):
+                b.secret_creds[m2.group(1)] = (m2.group(2), m2.group(3))
+        if "REVISION:" in obs and "upgraded" in obs:
+            b.mitigation_done.append("helm_upgrade")
+        if obs.startswith("NAME\tNAMESPACE\tREVISION"):
+            for m3 in re.finditer(r"^([\w-]+)\t[\w-]+\t\d+\t", obs, re.M):
+                b.release_name = m3.group(1)
+        for svc, pct in _TRACE_ERR_RE.findall(obs):
+            if svc not in b.trace_error_services:
+                b.trace_error_services.append(svc)
+            b.checked_traces = True
+        for svc, rate in _METRIC_ERR_RE.findall(obs):
+            b.metrics_errors[svc] = float(rate)
+            b.checked_metrics = True
+        if "ERROR lines per service" in obs or "No ERROR-level log lines" in obs \
+                or "Last lines of" in obs:
+            b.checked_logs = True
+        if "Latest snapshot" in obs:
+            b.checked_metrics = True
+        if "No error spans" in obs:
+            b.checked_traces = True
+        if obs.startswith("NAME") and "READY" in obs and "STATUS" in obs:
+            b.checked_pods = True
+        self._update_diagnosis()
+
+    @staticmethod
+    def _classify(detail: str) -> str:
+        for needle, sig in _SIGNATURES:
+            if needle in detail:
+                return sig
+        return "unknown"
+
+    # ------------------------------------------------------------------
+    # diagnosis
+    # ------------------------------------------------------------------
+    def _update_diagnosis(self) -> None:
+        b = self.belief
+        # direct application-level signatures (skip already-fixed targets so
+        # a second concurrent fault can take over the diagnosis)
+        for callee, sig in b.edge_signatures.items():
+            if callee in b.fixed_targets:
+                continue
+            if sig in ("revoke_auth", "auth_missing", "user_unregistered",
+                       "buggy_app_image"):
+                # auth_failed may be a helm misconfig: confirmed via values
+                if sig == "auth_missing" and callee not in b.helm_missing_creds \
+                        and not b.helm_values_seen:
+                    b.diagnosis = Diagnosis(sig, callee, 0.6,
+                                            "auth handshake failures")
+                else:
+                    b.diagnosis = Diagnosis(sig, callee, 0.9,
+                                            f"log signature on {callee}")
+                return
+        for callee, sig in b.edge_signatures.items():
+            if callee in b.fixed_targets:
+                continue
+            if sig == "network_loss":
+                b.diagnosis = Diagnosis("network_loss", callee, 0.7,
+                                        "packet drops on edge")
+                return
+        # connectivity needs k8s-state disambiguation
+        for callee, sig in b.edge_signatures.items():
+            if callee in b.fixed_targets or sig != "connectivity":
+                continue
+            if b.deployments_desired.get(callee) == 0:
+                b.diagnosis = Diagnosis("scale_pod_zero", callee, 0.9,
+                                        "deployment scaled to 0")
+            elif b.pods_status.get(callee) == "Pending":
+                b.diagnosis = Diagnosis("assign_to_non_existent_node", callee,
+                                        0.85, "pods Pending")
+            elif b.pods_status.get(callee) == "CrashLoopBackOff":
+                b.diagnosis = Diagnosis("pod_failure", callee, 0.85,
+                                        "crash-looping pods")
+            elif callee in b.endpoints_empty and \
+                    b.pods_status.get(callee) == "Running":
+                b.diagnosis = Diagnosis("misconfig_k8s", callee, 0.9,
+                                        "endpoints empty while pods run")
+            else:
+                b.diagnosis = Diagnosis("connectivity", callee, 0.4,
+                                        "connection refused, cause unknown")
+            return
+        # no edges: pod-level symptoms alone
+        for svc, status in b.pods_status.items():
+            if svc in b.fixed_targets:
+                continue
+            if status == "CrashLoopBackOff":
+                b.diagnosis = Diagnosis("pod_failure", svc, 0.7, "crash loop")
+                return
+            if status == "Pending":
+                b.diagnosis = Diagnosis("assign_to_non_existent_node", svc, 0.6,
+                                        "pending pods")
+                return
+
+    # ------------------------------------------------------------------
+    # localization ranking
+    # ------------------------------------------------------------------
+    def suspects(self) -> list[str]:
+        """Ranked candidate faulty services (most suspect first)."""
+        b = self.belief
+        ranked: list[str] = []
+        if b.diagnosis and b.diagnosis.fault_key != "connectivity":
+            ranked.append(b.diagnosis.target)
+        # deepest callees with signatures next
+        ranked.extend(c for c in b.edge_signatures if c not in ranked)
+        # trace-derived error services (already deepest-first)
+        ranked.extend(s for s in b.trace_error_services if s not in ranked)
+        # unhealthy pods
+        ranked.extend(
+            s for s, st in b.pods_status.items()
+            if st in ("CrashLoopBackOff", "Pending") and s not in ranked
+        )
+        # finally log error counts (shallower services)
+        for svc, _ in sorted(b.error_counts.items(), key=lambda kv: -kv[1]):
+            if svc not in ranked:
+                ranked.append(svc)
+        return ranked
+
+    def decoy_candidates(self, exclude: Optional[str] = None) -> list[str]:
+        """Plausible-but-wrong services: the symptom chain above the cause,
+        then the rest of the app (frontends first — the classic bad guess)."""
+        b = self.belief
+        out: list[str] = []
+        for svc, _ in sorted(b.error_counts.items(), key=lambda kv: -kv[1]):
+            if svc != exclude and svc not in out:
+                out.append(svc)
+        fronts = [s for s in b.app_services
+                  if "frontend" in s or "nginx" in s or "web" in s]
+        for svc in fronts + b.app_services:
+            if svc != exclude and svc not in out:
+                out.append(svc)
+        return out
+
+    def rca_answer(self) -> dict[str, str]:
+        b = self.belief
+        if b.diagnosis and b.diagnosis.fault_key in RCA_MAP:
+            level, ftype = RCA_MAP[b.diagnosis.fault_key]
+            return {"system_level": level, "fault_type": ftype}
+        return {"system_level": "application", "fault_type": "misconfiguration"}
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def next_action(self) -> str:
+        """The ideal next action for the current task given the belief."""
+        b = self.belief
+        ns = b.namespace or "default"
+        self.last_plan_was_fix = False
+        if self.task_type == "detection":
+            return self._plan_detection(ns)
+        if self.task_type == "localization":
+            return self._plan_localization(ns)
+        if self.task_type == "analysis":
+            return self._plan_analysis(ns)
+        return self._plan_mitigation(ns)
+
+    # -- shared investigation steps ------------------------------------
+    def _investigate(self, ns: str) -> Optional[str]:
+        """Generic evidence-gathering sequence; None when enough is known."""
+        b = self.belief
+        if not b.checked_logs:
+            return f'get_logs("{ns}", "all")'
+        if b.error_counts and not b.edge_signatures:
+            top = max(b.error_counts, key=b.error_counts.get)
+            return f'get_logs("{ns}", "{top}")'
+        sig = b.diagnosis.fault_key if b.diagnosis else ""
+        if sig == "connectivity" or (b.edge_signatures and any(
+                s == "connectivity" for s in b.edge_signatures.values())):
+            if not b.checked_deployments:
+                return f'exec_shell("kubectl get deployments -n {ns}")'
+            if not b.checked_pods:
+                return f'exec_shell("kubectl get pods -n {ns}")'
+            if not b.checked_endpoints:
+                return f'exec_shell("kubectl get endpoints -n {ns}")'
+        if sig == "auth_missing" and not b.helm_values_seen \
+                and b.diagnosis and b.diagnosis.confidence < 0.8:
+            return 'exec_shell("helm list")' if not b.release_name else \
+                f'exec_shell("helm get values {b.release_name}")'
+        if not b.error_counts and not b.checked_pods:
+            return f'exec_shell("kubectl get pods -n {ns}")'
+        if not b.error_counts and not b.checked_metrics:
+            return f'get_metrics("{ns}", 5)'
+        if self.use_traces and not b.checked_traces and not b.diagnosis:
+            return f'get_traces("{ns}", 5)'
+        return None
+
+    def _plan_detection(self, ns: str) -> str:
+        b = self.belief
+        if b.checked_logs and b.any_fault_evidence():
+            return 'submit("yes")'
+        if b.checked_logs and b.checked_pods and b.checked_metrics:
+            return 'submit("no")'
+        step = self._investigate(ns)
+        if step:
+            return step
+        return 'submit("yes")' if b.any_fault_evidence() else 'submit("no")'
+
+    def _plan_localization(self, ns: str) -> str:
+        b = self.belief
+        if b.diagnosis and b.diagnosis.confidence >= 0.7:
+            return f"submit({self.suspects()[:3]!r})"
+        step = self._investigate(ns)
+        if step:
+            return step
+        suspects = self.suspects()[:3]
+        if suspects:
+            return f"submit({suspects!r})"
+        return 'submit([])'
+
+    def _plan_analysis(self, ns: str) -> str:
+        b = self.belief
+        if b.diagnosis and b.diagnosis.fault_key in RCA_MAP \
+                and b.diagnosis.confidence >= 0.8:
+            return f"submit({self.rca_answer()!r})"
+        step = self._investigate(ns)
+        if step:
+            return step
+        return f"submit({self.rca_answer()!r})"
+
+    # -- mitigation -----------------------------------------------------
+    MAX_VERIFY_ROUNDS = 5
+
+    def _mark_fixed(self, target: str) -> None:
+        """Bookkeeping after issuing a fix: forget the target's stale
+        evidence so a *second* concurrent fault can surface (§2.4.3's
+        multi-fault problems), and force fresh telemetry before submit."""
+        b = self.belief
+        self.last_plan_was_fix = True
+        b.fixed_targets.add(target)
+        b.mitigation_done.append("fix")
+        b.edge_signatures.pop(target, None)
+        b.error_counts.clear()
+        b.diagnosis = None
+        b.metrics_stale = True
+        b.checked_deployments = False
+        b.checked_pods = False
+        b.checked_endpoints = False
+
+    def _plan_verification(self, ns: str) -> str:
+        """After a fix: confirm error rates died down, or chase what's left.
+
+        The first metric pull after a fix can still reflect the pre-fix
+        scrape window, so the plan re-polls metrics a couple of times before
+        concluding another fault remains and reaching for logs.
+        """
+        b = self.belief
+        if b.metrics_stale:
+            b.metrics_stale = False
+            return f'get_metrics("{ns}", 1)'
+        still_bad = [s for s, v in b.metrics_errors.items()
+                     if v > 0.2 and s not in b.fixed_targets]
+        if not still_bad:
+            return "submit()"
+        b.verify_rounds += 1
+        if b.verify_rounds <= 2:
+            return f'get_metrics("{ns}", 1)'   # wait out the scrape lag
+        if b.verify_rounds >= self.MAX_VERIFY_ROUNDS:
+            return "submit()"  # out of ideas — let the evaluator decide
+        top = max(still_bad, key=lambda s: b.metrics_errors[s])
+        return f'get_logs("{ns}", "{top}")'
+
+    def _plan_mitigation(self, ns: str) -> str:
+        b = self.belief
+        d = b.diagnosis
+        actionable = (d is not None and d.fault_key in RCA_MAP
+                      and d.target not in b.fixed_targets)
+        if not actionable:
+            if b.fixed_targets:
+                # a connectivity hypothesis still needs k8s-state
+                # disambiguation before it becomes actionable
+                if d is not None and d.fault_key == "connectivity":
+                    step = self._investigate(ns)
+                    if step:
+                        return step
+                return self._plan_verification(ns)
+            step = self._investigate(ns)
+            if step:
+                return step
+            return "submit()"  # nothing actionable found
+        # dead-end guard: if fetching this target's secret already failed,
+        # stop chasing the hypothesis instead of looping on NotFound
+        if b.last_error_observation and \
+                f"{d.target}-credentials" in b.last_error_observation:
+            b.fixed_targets.add(d.target)
+            b.diagnosis = None
+            return self._plan_verification(ns)
+        key = d.fault_key
+        if key == "scale_pod_zero":
+            self._mark_fixed(d.target)
+            return (f'exec_shell("kubectl scale deployment {d.target} '
+                    f'--replicas=1 -n {ns}")')
+        if key == "assign_to_non_existent_node":
+            self._mark_fixed(d.target)
+            patch = '{\\"spec\\":{\\"template\\":{\\"spec\\":{\\"nodeName\\":\\"\\"}}}}'
+            return (f"exec_shell(\"kubectl patch deployment {d.target} -n {ns} "
+                    f"-p '{patch}'\")")
+        if key == "misconfig_k8s":
+            port = b.deploy_ports.get(d.target)
+            if port is None:
+                return (f'exec_shell("kubectl describe deployment {d.target} '
+                        f'-n {ns}")')
+            self._mark_fixed(d.target)
+            patch = ('{\\"spec\\":{\\"ports\\":[{\\"targetPort\\":%d}]}}' % port)
+            return (f"exec_shell(\"kubectl patch service {d.target} -n {ns} "
+                    f"-p '{patch}'\")")
+        if key == "revoke_auth":
+            pod = b.mongo_pods.get(d.target)
+            if pod is None:
+                return f'exec_shell("kubectl get pods -n {ns}")'
+            self._mark_fixed(d.target)
+            return (f"exec_shell(\"kubectl exec {pod} -n {ns} -- mongo --eval "
+                    f"\\\"db.grantRolesToUser('admin', ['readWrite','dbAdmin'])\\\"\")")
+        if key == "user_unregistered":
+            creds = b.secret_creds.get(d.target)
+            if creds is None:
+                return (f'exec_shell("kubectl get secret {d.target}-credentials '
+                        f'-n {ns}")')
+            pod = b.mongo_pods.get(d.target)
+            if pod is None:
+                return f'exec_shell("kubectl get pods -n {ns}")'
+            user, pw = creds
+            self._mark_fixed(d.target)
+            return (f"exec_shell(\"kubectl exec {pod} -n {ns} -- mongo --eval "
+                    f"\\\"db.createUser({{user: '{user}', pwd: '{pw}', "
+                    f"roles: ['readWrite','dbAdmin']}})\\\"\")")
+        if key == "buggy_app_image":
+            image = b.deploy_images.get(d.target)
+            if image is None:
+                return (f'exec_shell("kubectl describe deployment {d.target} '
+                        f'-n {ns}")')
+            fixed = image.replace(":buggy-v2", ":latest")
+            self._mark_fixed(d.target)
+            return (f'exec_shell("kubectl set image deployment/{d.target} '
+                    f'{d.target}={fixed} -n {ns}")')
+        if key == "auth_missing":
+            if not b.release_name:
+                return 'exec_shell("helm list")'
+            creds = b.secret_creds.get(d.target)
+            if creds is None:
+                return (f'exec_shell("kubectl get secret {d.target}-credentials '
+                        f'-n {ns}")')
+            user, pw = creds
+            self._mark_fixed(d.target)
+            return (f'exec_shell("helm upgrade {b.release_name} '
+                    f'--set mongo_credentials.{d.target}.username={user} '
+                    f'--set mongo_credentials.{d.target}.password={pw}")')
+        # symptomatic faults (network loss / pod failure) have no functional
+        # root cause to fix — restart pods as a best effort
+        self._mark_fixed(d.target)
+        return f'exec_shell("kubectl rollout restart deployment {d.target} -n {ns}")'
+
+    # ------------------------------------------------------------------
+    def flail_action(self) -> str:
+        """A plausible-but-unhelpful action (weak models under uncertainty)."""
+        ns = self.belief.namespace or "default"
+        options = [
+            f'get_logs("{ns}", "all")',
+            f'get_metrics("{ns}", 5)',
+            f'exec_shell("kubectl get pods -n {ns}")',
+            f'exec_shell("kubectl get services -n {ns}")',
+        ]
+        if self.use_traces:
+            options.append(f'get_traces("{ns}", 5)')
+        return self.rng.choice(options)

@@ -1,0 +1,14 @@
+"""Applications under test: the two DeathStarBench suites the paper deploys.
+
+* :class:`HotelReservation` — the Go/gRPC hotel application (search,
+  recommendation, reservation, user/profile services over MongoDB and
+  Memcached backends).
+* :class:`SocialNetwork` — the 28-microservice social network (compose
+  post, home/user timelines over MongoDB, Redis and Memcached).
+"""
+
+from repro.apps.base import App
+from repro.apps.hotel_reservation import HotelReservation
+from repro.apps.social_network import SocialNetwork
+
+__all__ = ["App", "HotelReservation", "SocialNetwork"]

@@ -1,0 +1,124 @@
+"""MKSMC: multivariate K-sigma score anomaly detection with Monte Carlo.
+
+Following Çetin & Tasgin (2020): fit a per-dimension Gaussian on a
+reference (healthy) window of the metric matrix, score observation windows
+by their maximum K-sigma deviation, and calibrate the alarm threshold by
+Monte-Carlo sampling from the fitted model (the score quantile that a
+healthy system would only exceed with probability ``alpha``).
+
+The method sees only resource/traffic KPIs — functional faults that barely
+move CPU or memory are largely invisible to it, which is exactly why the
+paper reports it near 15% detection accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.telemetry.metrics import MetricStore
+
+
+@dataclass
+class MksmcResult:
+    """Outcome of one detection decision."""
+
+    anomalous: bool
+    score: float
+    threshold: float
+
+
+class MKSMC:
+    """Multivariate K-sigma + Monte Carlo detector over the metric store.
+
+    Parameters
+    ----------
+    metrics:
+        KPI names to stack into the multivariate series.  Defaults to the
+        resource KPIs the method targets (CPU, memory); traffic- or
+        error-derived KPIs would leak the fault signal the paper shows
+        these detectors miss.
+    alpha:
+        Target false-alarm probability for the Monte-Carlo threshold.
+    n_samples:
+        Monte-Carlo sample count.
+    """
+
+    #: relative floor on per-dimension sigma — short training windows
+    #: (a handful of scrapes) badly underestimate variance otherwise and
+    #: turn the detector into a false-alarm machine
+    SIGMA_FLOOR_REL = 0.05
+
+    def __init__(
+        self,
+        metrics: tuple[str, ...] = ("cpu_usage", "memory_usage"),
+        alpha: float = 0.01,
+        n_samples: int = 2000,
+        window_len: int = 12,
+        seed: int = 0,
+    ) -> None:
+        self.metrics = metrics
+        self.alpha = alpha
+        self.n_samples = n_samples
+        self.window_len = window_len
+        self._rng = np.random.default_rng(seed)
+        self._mu: Optional[np.ndarray] = None
+        self._sigma: Optional[np.ndarray] = None
+        self.threshold: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _matrix(self, store: MetricStore, services: list[str],
+                since: Optional[float], until: Optional[float]) -> np.ndarray:
+        """Stack all KPIs for all services into a (T, S*M) matrix."""
+        blocks = []
+        n_rows = None
+        for metric in self.metrics:
+            _, m = store.matrix(services, metric, since=since, until=until)
+            blocks.append(m)
+            n_rows = m.shape[0] if n_rows is None else min(n_rows, m.shape[0])
+        if not blocks or n_rows is None or n_rows == 0:
+            return np.zeros((0, 0))
+        return np.concatenate([b[:n_rows] for b in blocks], axis=1)
+
+    def fit(self, store: MetricStore, services: list[str],
+            since: Optional[float] = None, until: Optional[float] = None) -> "MKSMC":
+        """Fit the healthy-window Gaussian and the Monte-Carlo threshold."""
+        X = self._matrix(store, services, since, until)
+        if X.size == 0:
+            raise ValueError("no metric samples in the training window")
+        self._mu = X.mean(axis=0)
+        raw_sigma = X.std(axis=0)
+        self._sigma = np.maximum(
+            raw_sigma, self.SIGMA_FLOOR_REL * np.abs(self._mu) + 1e-6)
+        # Monte Carlo: healthy-like *windows* (window_len rows) -> the
+        # distribution of window-max scores; the threshold accounts for the
+        # max being taken over both time and dimensions.
+        sims = self._rng.normal(
+            self._mu, self._sigma,
+            size=(self.n_samples, self.window_len, X.shape[1]),
+        )
+        scores = np.abs((sims - self._mu) / self._sigma).max(axis=(1, 2))
+        self.threshold = float(np.quantile(scores, 1.0 - self.alpha))
+        return self
+
+    def score(self, store: MetricStore, services: list[str],
+              since: Optional[float] = None,
+              until: Optional[float] = None) -> float:
+        """Max K-sigma deviation of the observation window."""
+        if self._mu is None or self._sigma is None:
+            raise RuntimeError("call fit() before score()")
+        X = self._matrix(store, services, since, until)
+        if X.size == 0:
+            return 0.0
+        z = np.abs((X - self._mu[: X.shape[1]]) / self._sigma[: X.shape[1]])
+        return float(z.max())
+
+    def detect(self, store: MetricStore, services: list[str],
+               since: Optional[float] = None,
+               until: Optional[float] = None) -> MksmcResult:
+        s = self.score(store, services, since=since, until=until)
+        assert self.threshold is not None
+        return MksmcResult(anomalous=s > self.threshold, score=s,
+                           threshold=self.threshold)

@@ -1,0 +1,31 @@
+"""Benchmark harness: runs the 48-problem suite and regenerates every
+table and figure of the paper's evaluation section."""
+
+from repro.bench.runner import BenchmarkRunner, CaseResult
+from repro.bench.tables import (
+    table2_problem_pool,
+    table3_overall,
+    table4_by_task,
+    table5_commands,
+    render_table,
+)
+from repro.bench.figures import (
+    figure5_step_limit,
+    figure6_api_usage,
+    figure7_action_distribution,
+    render_series,
+)
+
+__all__ = [
+    "BenchmarkRunner",
+    "CaseResult",
+    "table2_problem_pool",
+    "table3_overall",
+    "table4_by_task",
+    "table5_commands",
+    "render_table",
+    "figure5_step_limit",
+    "figure6_api_usage",
+    "figure7_action_distribution",
+    "render_series",
+]

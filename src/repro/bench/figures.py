@@ -1,0 +1,97 @@
+"""Figure data generators: Figures 5, 6 and 7 of the evaluation."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.agents.registry import AGENT_NAMES
+from repro.bench.runner import BenchmarkRunner, SuiteResults
+
+
+def render_series(title: str, series: dict[str, dict], unit: str = "") -> str:
+    """Text rendering for figure data (keys as the x-axis)."""
+    lines = [title]
+    for name, points in series.items():
+        pts = "  ".join(f"{k}:{v:.3f}" if isinstance(v, float) else f"{k}:{v}"
+                        for k, v in points.items())
+        lines.append(f"  {name:<18} {pts}{unit}")
+    return "\n".join(lines)
+
+
+def figure5_step_limit(
+    runner: BenchmarkRunner,
+    limits: Sequence[int] = (3, 5, 10, 15, 20),
+    agents: Sequence[str] = AGENT_NAMES,
+    pids: Optional[Sequence[str]] = None,
+) -> dict[str, dict[int, float]]:
+    """Figure 5: accuracy vs. maximum allowed steps K."""
+    return runner.sweep_step_limit(limits=limits, agents=agents, pids=pids)
+
+
+#: Figure 6 buckets
+_F6_BUCKETS = ("get_logs", "get_metrics", "get_traces", "Others", "K8S")
+
+
+def figure6_api_usage(results: SuiteResults,
+                      agents: Sequence[str] = ("react", "flash")
+                      ) -> dict[str, dict[str, float]]:
+    """Figure 6: percentage of actions by API category per agent.
+
+    ``K8S`` is exec_shell with a kubectl/helm command; ``Others`` is
+    everything else (submit, invalid actions, other shell commands).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for agent in agents:
+        counts = {b: 0 for b in _F6_BUCKETS}
+        total = 0
+        for case in results.for_agent(agent):
+            for step in case.session.steps:
+                total += 1
+                if step.action_name in ("get_logs", "get_metrics", "get_traces"):
+                    counts[step.action_name] += 1
+                elif step.action_name == "exec_shell" and \
+                        step.shell_command in ("kubectl", "helm"):
+                    counts["K8S"] += 1
+                else:
+                    counts["Others"] += 1
+        out[agent] = {
+            b: (100.0 * counts[b] / total if total else 0.0)
+            for b in _F6_BUCKETS
+        }
+    return out
+
+
+#: Figure 7 buckets
+_F7_BUCKETS = ("Submit", "kubectl get", "kubectl other", "get_logs",
+               "get_traces", "get_metrics", "Others")
+
+
+def _f7_bucket(step) -> str:
+    if step.action_name == "submit":
+        return "Submit"
+    if step.action_name in ("get_logs", "get_traces", "get_metrics"):
+        return step.action_name
+    if step.action_name == "exec_shell" and step.shell_command == "kubectl":
+        args = str(step.action_args[0]) if step.action_args else ""
+        return "kubectl get" if " get " in f" {args} " else "kubectl other"
+    return "Others"
+
+
+def figure7_action_distribution(results: SuiteResults
+                                ) -> dict[str, dict[str, float]]:
+    """Figure 7: action distribution split by case outcome."""
+    out: dict[str, dict[str, float]] = {}
+    for label, want_success in (("successful", True), ("failure", False)):
+        counts = {b: 0 for b in _F7_BUCKETS}
+        total = 0
+        for case in results.cases:
+            if case.success != want_success:
+                continue
+            for step in case.session.steps:
+                counts[_f7_bucket(step)] += 1
+                total += 1
+        out[label] = {
+            b: (100.0 * counts[b] / total if total else 0.0)
+            for b in _F7_BUCKETS
+        }
+    return out

@@ -1,0 +1,130 @@
+"""Suite runner: agents × problems → per-case results plus trajectories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.agents.registry import AGENT_NAMES, build_agent, task_type_of
+from repro.core.orchestrator import Orchestrator
+from repro.core.session import Session
+from repro.problems import benchmark_pids, get_problem
+
+
+@dataclass
+class CaseResult:
+    """One (agent, problem) evaluation."""
+
+    agent: str
+    pid: str
+    task_type: str
+    success: bool
+    duration_s: float
+    steps: int
+    input_tokens: int
+    output_tokens: int
+    details: dict[str, Any]
+    session: Session
+
+
+@dataclass
+class SuiteResults:
+    """All cases of one benchmark run."""
+
+    cases: list[CaseResult] = field(default_factory=list)
+
+    def for_agent(self, agent: str) -> list[CaseResult]:
+        return [c for c in self.cases if c.agent == agent]
+
+    def for_task(self, task: str, agent: Optional[str] = None) -> list[CaseResult]:
+        out = [c for c in self.cases if c.task_type == task]
+        if agent is not None:
+            out = [c for c in out if c.agent == agent]
+        return out
+
+    def accuracy(self, agent: str, task: Optional[str] = None) -> float:
+        cases = self.for_task(task, agent) if task else self.for_agent(agent)
+        if not cases:
+            return 0.0
+        return sum(c.success for c in cases) / len(cases)
+
+
+class BenchmarkRunner:
+    """Runs agents over the problem pool (the paper's 4 agents × 48 problems).
+
+    Parameters
+    ----------
+    max_steps:
+        Step limit per session (paper default 20; Figure 5 sweeps it).
+    seed:
+        Root seed; case seeds derive from (seed, agent, pid) so every case
+        is independently reproducible.
+    """
+
+    def __init__(self, max_steps: int = 20, seed: int = 0) -> None:
+        self.max_steps = max_steps
+        self.seed = seed
+
+    def _case_seed(self, agent: str, pid: str) -> int:
+        import hashlib
+        digest = hashlib.sha256(f"{self.seed}:{agent}:{pid}".encode()).digest()
+        return int.from_bytes(digest[:4], "little")
+
+    def run_case(self, agent_name: str, pid: str,
+                 max_steps: Optional[int] = None) -> CaseResult:
+        """Run one agent on one problem in a fresh environment."""
+        case_seed = self._case_seed(agent_name, pid)
+        orch = Orchestrator(seed=case_seed)
+        prob_desc, instructs, apis = orch.init_problem(get_problem(pid))
+        task = task_type_of(pid)
+        agent = build_agent(agent_name, prob_desc, instructs, apis, task,
+                            seed=case_seed)
+        orch.register_agent(agent, name=agent_name)
+        res = orch.run_problem(max_steps=max_steps or self.max_steps)
+        details = {k: v for k, v in res.items()
+                   if k not in ("pid", "task_type", "agent", "success",
+                                "duration_s", "steps", "input_tokens",
+                                "output_tokens")}
+        return CaseResult(
+            agent=agent_name, pid=pid, task_type=task,
+            success=bool(res["success"]), duration_s=res["duration_s"],
+            steps=res["steps"], input_tokens=res["input_tokens"],
+            output_tokens=res["output_tokens"], details=details,
+            session=orch.session,
+        )
+
+    def run_suite(
+        self,
+        agents: Sequence[str] = AGENT_NAMES,
+        pids: Optional[Iterable[str]] = None,
+        verbose: bool = False,
+    ) -> SuiteResults:
+        """Run every agent on every problem (288 cases at paper scale
+        counting the two non-LLM localization/detection baselines)."""
+        results = SuiteResults()
+        for agent in agents:
+            for pid in (list(pids) if pids is not None else benchmark_pids()):
+                case = self.run_case(agent, pid)
+                results.cases.append(case)
+                if verbose:  # pragma: no cover - console nicety
+                    mark = "+" if case.success else "-"
+                    print(f"[{mark}] {agent:16s} {pid}")
+        return results
+
+    def sweep_step_limit(
+        self,
+        limits: Sequence[int] = (3, 5, 10, 15, 20),
+        agents: Sequence[str] = AGENT_NAMES,
+        pids: Optional[Iterable[str]] = None,
+    ) -> dict[str, dict[int, float]]:
+        """Figure 5: accuracy as a function of the step limit K."""
+        out: dict[str, dict[int, float]] = {a: {} for a in agents}
+        pid_list = list(pids) if pids is not None else benchmark_pids()
+        for limit in limits:
+            for agent in agents:
+                wins = 0
+                for pid in pid_list:
+                    case = self.run_case(agent, pid, max_steps=limit)
+                    wins += case.success
+                out[agent][limit] = wins / len(pid_list)
+        return out

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: the Orchestrator and Agent-Cloud Interface.
+
+* :class:`CloudEnvironment` — one deployed app + cluster + telemetry +
+  workload, on a shared virtual clock.
+* :class:`TaskActions` (ACI) — the concise, documented API surface agents
+  act through (``get_logs``, ``get_metrics``, ``get_traces``,
+  ``exec_shell``, ``submit``).
+* :class:`Problem` and the four task interfaces (Detection / Localization /
+  Analysis / Mitigation) — the ⟨T, C, S⟩ tuple of §2.1.
+* :class:`Orchestrator` — session management: ``init_problem`` →
+  ``register_agent`` → ``start_problem(max_steps)``; polls the agent's
+  ``get_action``, executes actions, feeds back observations, and evaluates
+  the final submission.
+"""
+
+from repro.core.env import CloudEnvironment
+from repro.core.aci import TaskActions, extract_api_docs
+from repro.core.problem import (
+    Problem,
+    DetectionTask,
+    LocalizationTask,
+    AnalysisTask,
+    MitigationTask,
+)
+from repro.core.session import Session, Step
+from repro.core.orchestrator import Orchestrator
+from repro.core.evaluator import Evaluator, system_healthy
+from repro.core.judge import LlmJudge
+from repro.core.lifecycle import IncidentLifecycle, LifecycleResult, StageResult
+from repro.core.trajectory import load_session, save_all, save_session
+
+__all__ = [
+    "IncidentLifecycle",
+    "LifecycleResult",
+    "StageResult",
+    "load_session",
+    "save_all",
+    "save_session",
+    "CloudEnvironment",
+    "TaskActions",
+    "extract_api_docs",
+    "Problem",
+    "DetectionTask",
+    "LocalizationTask",
+    "AnalysisTask",
+    "MitigationTask",
+    "Session",
+    "Step",
+    "Orchestrator",
+    "Evaluator",
+    "system_healthy",
+    "LlmJudge",
+]

@@ -1,0 +1,181 @@
+"""The Agent-Cloud Interface (§2.2.1): the actions agents can take.
+
+Each public method on :class:`TaskActions` is one valid agent action.  On
+problem initialization the Orchestrator extracts these docstrings and hands
+them to the agent as its API documentation (`extract_api_docs`), exactly as
+Example 2.2 of the paper describes.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.env import CloudEnvironment
+
+from repro.core.shell import ShellExecutor
+
+
+class SubmissionReceived(Exception):
+    """Raised internally when the agent calls ``submit`` — ends the session."""
+
+    def __init__(self, solution: object) -> None:
+        self.solution = solution
+        super().__init__(f"solution submitted: {solution!r}")
+
+
+class TaskActions:
+    """Concrete ACI over one :class:`CloudEnvironment`.
+
+    All telemetry getters save data under the environment's export root and
+    return both the path and a compact, agent-readable rendering — the
+    high-quality feedback §2.2.1 calls for.
+    """
+
+    def __init__(self, env: "CloudEnvironment") -> None:
+        self.env = env
+        self.shell = ShellExecutor(env)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def get_logs(self, namespace: str, service: str,
+                 tail: int = 20) -> str:
+        """
+        Collects recent application logs for a service (via the log pipeline).
+
+        Args:
+            namespace (str): The K8S namespace of the application.
+            service (str): The service whose logs to fetch, or "all" for an
+                error summary across every service.
+            tail (int): Number of most recent lines to return.
+        Returns:
+            str: Path where logs are saved, plus the log lines.
+        """
+        ns = namespace or self.env.namespace
+        if ns not in self.env.cluster.namespaces:
+            return f"Error: Your service/namespace does not exist: {ns}"
+        path = self.env.exporter.export_logs(ns)
+        if service in ("all", "*", ""):
+            counts = self.env.collector.logs.error_counts(ns)
+            if not counts:
+                return (f"Saved logs to {path}. No ERROR-level log lines "
+                        f"found in namespace {ns}.")
+            summary = "\n".join(
+                f"  {svc}: {n} ERROR lines"
+                for svc, n in sorted(counts.items(), key=lambda kv: -kv[1])
+            )
+            return f"Saved logs to {path}. ERROR lines per service:\n{summary}"
+        known = self.env.collector.logs.services_seen(ns) | set(self.env.app.services)
+        if service not in known:
+            return f"Error: Your service/namespace does not exist: {service}"
+        text = self.env.collector.logs.tail_service(ns, service, tail)
+        if not text:
+            return (f"Saved logs to {path}. Service {service} has produced "
+                    f"no log lines yet.")
+        return f"Saved logs to {path}. Last lines of {service}:\n{text}"
+
+    def get_metrics(self, namespace: str, duration: int = 5) -> str:
+        """
+        Collects service metrics (CPU, memory, request/error rates) from the
+        monitoring stack for the last `duration` minutes.
+
+        Args:
+            namespace (str): The K8S namespace.
+            duration (int): Minutes of history to export.
+        Returns:
+            str: Path where metrics are saved, plus a per-service snapshot.
+        """
+        ns = namespace or self.env.namespace
+        if ns not in self.env.cluster.namespaces:
+            return f"Error: Your service/namespace does not exist: {ns}"
+        since = max(self.env.clock.now - duration * 60.0, 0.0)
+        path = self.env.exporter.export_metrics(since=since)
+        store = self.env.collector.metrics
+        lines = []
+        err = store.snapshot_latest("error_rate")
+        cpu = store.snapshot_latest("cpu_usage")
+        rate = store.snapshot_latest("request_rate")
+        for svc in sorted(set(err) | set(cpu)):
+            lines.append(
+                f"  {svc}: cpu={cpu.get(svc, 0):.0f}m "
+                f"req_rate={rate.get(svc, 0):.1f}/s "
+                f"err_rate={err.get(svc, 0):.2f}/s"
+            )
+        body = "\n".join(lines) if lines else "  (no samples yet)"
+        return f"Saved metrics to {path}. Latest snapshot:\n{body}"
+
+    def get_traces(self, namespace: str, duration: int = 5) -> str:
+        """
+        Collects trace data of the services from the tracing backend.
+
+        Args:
+            namespace (str): The K8S namespace.
+            duration (int): Minutes of traces to collect.
+        Returns:
+            str: Path to the saved traces, plus an error-span summary.
+        """
+        ns = namespace or self.env.namespace
+        if ns not in self.env.cluster.namespaces:
+            return f"Error: Your service/namespace does not exist: {ns}"
+        since = max(self.env.clock.now - duration * 60.0, 0.0)
+        path = self.env.exporter.export_traces(since=since)
+        rates = self.env.collector.traces.error_rate_by_service(since=since)
+        errored = {svc: r for svc, r in rates.items() if r > 0}
+        if not errored:
+            return f"Saved traces to {path}. No error spans in the window."
+        lines = "\n".join(
+            f"  {svc}: {r * 100:.0f}% of spans errored"
+            for svc, r in sorted(errored.items(), key=lambda kv: -kv[1])
+        )
+        return f"Saved traces to {path}. Services with error spans:\n{lines}"
+
+    # ------------------------------------------------------------------
+    # acting on the environment
+    # ------------------------------------------------------------------
+    def exec_shell(self, command: str) -> str:
+        """
+        Executes a shell command after applying security policy filters.
+        kubectl and helm are available; destructive commands are blocked.
+
+        Args:
+            command (str): The command, e.g. "kubectl get pods -n <ns>".
+        Returns:
+            str: Command output or error text.
+        """
+        return self.shell.run(command)
+
+    def submit(self, solution: object = None) -> str:
+        """
+        Submits the final solution for the current task and ends the session.
+        Detection: "yes"/"no". Localization: service name(s), most suspect
+        first. Analysis: {"system_level": ..., "fault_type": ...}.
+        Mitigation: call submit() after your fix; the environment itself
+        is checked.
+
+        Args:
+            solution: The task-specific answer (may be omitted for mitigation).
+        Returns:
+            str: (never returns; ends the session)
+        """
+        raise SubmissionReceived(solution)
+
+
+def extract_api_docs(actions_cls: type = TaskActions,
+                     task_type: str = "") -> str:
+    """Build the API documentation block shared with the agent as context.
+
+    Mirrors the paper's behaviour: "the Orchestrator automatically extracts
+    documentation from these APIs to provide as context C to the agent."
+    """
+    blocks = []
+    for name, member in inspect.getmembers(actions_cls, inspect.isfunction):
+        if name.startswith("_"):
+            continue
+        sig = inspect.signature(member)
+        params = [p for p in sig.parameters.values() if p.name != "self"]
+        rendered = ", ".join(str(p) for p in params)
+        doc = inspect.getdoc(member) or ""
+        blocks.append(f"{name}({rendered})\n{doc}")
+    return "\n\n".join(blocks)

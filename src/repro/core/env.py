@@ -1,0 +1,73 @@
+"""One problem's operational environment: app + cluster + telemetry + load."""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Optional, Type
+
+from repro.apps.base import App
+from repro.kubesim import Cluster, Helm, Kubectl
+from repro.simcore import SimClock
+from repro.telemetry import TelemetryCollector, TelemetryExporter
+from repro.workload import ConstantRate, RatePolicy, WorkloadDriver
+
+
+class CloudEnvironment:
+    """Deploys an application and wires every subsystem to one virtual clock.
+
+    This is the ``E`` part of the problem context ``C = ⟨E, I⟩`` — the
+    service, fault and workload conditions the problem occurs under; it is
+    *not* shared with the agent (the agent only sees it through the ACI).
+    """
+
+    def __init__(
+        self,
+        app_cls: Type[App],
+        seed: int = 0,
+        workload_rate: float = 60.0,
+        policy: Optional[RatePolicy] = None,
+        export_root: Optional[str | Path] = None,
+    ) -> None:
+        self.seed = seed
+        self.clock = SimClock()
+        self.cluster = Cluster(clock=self.clock, seed=seed)
+        self.collector = TelemetryCollector(self.clock, seed=seed)
+        self.helm = Helm(self.cluster)
+        self.app: App = app_cls()
+        self.runtime = self.app.deploy(
+            self.cluster, self.collector, helm=self.helm, seed=seed
+        )
+        self.driver = WorkloadDriver(
+            self.runtime,
+            self.app.workload_mix(),
+            policy or ConstantRate(workload_rate),
+            seed=seed,
+        )
+        self.kubectl = Kubectl(
+            self.cluster,
+            log_source=self.collector.kubectl_log_source,
+            exec_handler=self.app.exec_handler,
+            metrics_source=self.collector.kubectl_metrics_source(self.cluster),
+        )
+        root = Path(export_root) if export_root else Path(tempfile.mkdtemp(
+            prefix=f"aiopslab-{self.app.name}-"))
+        self.exporter = TelemetryExporter(self.collector, root)
+
+    @property
+    def namespace(self) -> str:
+        return self.app.namespace
+
+    def advance(self, seconds: float) -> None:
+        """Let the environment live for ``seconds`` of virtual time
+        (workload continues, telemetry is scraped)."""
+        self.driver.run_for(seconds)
+
+    def probe_error_rate(self, seconds: float = 10.0) -> float:
+        """Run load for a window and return the fraction of failed requests."""
+        before_req = self.driver.stats.requests
+        before_err = self.driver.stats.errors
+        self.driver.run_for(seconds)
+        n = self.driver.stats.requests - before_req
+        e = self.driver.stats.errors - before_err
+        return e / n if n else 0.0

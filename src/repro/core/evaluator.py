@@ -1,0 +1,84 @@
+"""Problem evaluation: success criteria, efficiency and cost metrics (§3.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.env import CloudEnvironment
+    from repro.core.problem import Problem
+    from repro.core.session import Session
+
+
+def system_healthy(env: "CloudEnvironment",
+                   probe_seconds: float = 10.0,
+                   max_error_rate: float = 0.02) -> tuple[bool, str]:
+    """Check the *general state of the entire system* (§2.1).
+
+    Healthy means every deployment has its desired replicas ready (and at
+    least one), no pod is Pending/CrashLooping, and a fresh probe workload
+    completes with an error rate under ``max_error_rate``.
+    """
+    ns = env.namespace
+    for dep in env.cluster.deployments_in(ns):
+        pods = env.cluster.pods_for_deployment(dep)
+        ready = [p for p in pods if p.ready and not p.crash_looping]
+        if dep.replicas < 1:
+            return False, f"deployment {dep.name} scaled to zero"
+        if len(ready) < dep.replicas:
+            return False, (f"deployment {dep.name}: {len(ready)}/{dep.replicas} "
+                           f"replicas ready")
+    for pod in env.cluster.pods_in(ns):
+        if pod.crash_looping:
+            return False, f"pod {pod.name} is crash-looping"
+        if pod.phase.value == "Pending":
+            return False, f"pod {pod.name} is Pending"
+    err = env.probe_error_rate(probe_seconds)
+    if err > max_error_rate:
+        return False, f"probe workload error rate {err:.1%} exceeds {max_error_rate:.0%}"
+    return True, "system healthy"
+
+
+@dataclass
+class EvaluationResult:
+    """Everything the problem evaluators record for one session."""
+
+    pid: str
+    task_type: str
+    agent_name: str
+    success: bool
+    duration_s: float
+    steps: int
+    input_tokens: int
+    output_tokens: int
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+
+class Evaluator:
+    """Runs a problem's grading against the agent's submission and session."""
+
+    def __init__(self, problem: "Problem", env: "CloudEnvironment") -> None:
+        self.problem = problem
+        self.env = env
+
+    def evaluate(self, session: "Session",
+                 solution: Any) -> EvaluationResult:
+        duration = session.elapsed()
+        details = self.problem.eval(solution, session, duration, env=self.env)
+        success = bool(details.get("success", False))
+        return EvaluationResult(
+            pid=self.problem.pid,
+            task_type=self.problem.task_type,
+            agent_name=session.agent_name,
+            success=success,
+            duration_s=duration,
+            steps=len(session.steps),
+            input_tokens=session.input_tokens,
+            output_tokens=session.output_tokens,
+            details=details,
+        )

@@ -1,0 +1,114 @@
+"""Optional qualitative trajectory evaluation — LLM-as-Judge (§2.2.3, §4).
+
+The judge checks whether the agent's submission is *supported by the
+evidence it actually gathered*, catching right-answer-wrong-reasoning cases
+(§4's example: an agent answers "yes" while citing a normal workload).
+
+A real LLM can be plugged in through the ``llm`` callable; the default is a
+deterministic rubric over the trajectory, which is what the simulated
+backends use.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.session import Session
+
+#: observation substrings that count as fault evidence
+_EVIDENCE_PATTERNS = (
+    "ERROR", "error span", "CrashLoopBackOff", "Pending", "connection refused",
+    "not authorized", "Authentication failed", "Could not find user",
+    "packet dropped", "panic:", "0/", "err_rate",
+)
+
+
+@dataclass
+class Verdict:
+    """The judge's assessment of one session."""
+
+    grounded: bool           # the submission is supported by gathered evidence
+    score: float             # 0..1 rubric score
+    rationale: str
+
+
+class LlmJudge:
+    """Grades a session transcript against the submission.
+
+    Parameters
+    ----------
+    llm:
+        Optional ``prompt -> response`` callable; when provided, its response
+        (expected to contain ``GROUNDED`` or ``UNGROUNDED``) overrides the
+        rubric.
+    """
+
+    def __init__(self, llm: Optional[Callable[[str], str]] = None) -> None:
+        self.llm = llm
+
+    def judge(self, session: Session, expected_task: str) -> Verdict:
+        if self.llm is not None:
+            prompt = self._prompt(session, expected_task)
+            response = self.llm(prompt)
+            grounded = "UNGROUNDED" not in response.upper() and \
+                "GROUNDED" in response.upper()
+            return Verdict(grounded=grounded,
+                           score=1.0 if grounded else 0.0,
+                           rationale=response.strip())
+        return self._rubric(session, expected_task)
+
+    # ------------------------------------------------------------------
+    #: phrases that *mention* error terminology while asserting cleanliness
+    _CLEAN_PHRASES = ("No ERROR-level log lines", "No error spans",
+                      "No resources found")
+
+    def _rubric(self, session: Session, expected_task: str) -> Verdict:
+        def is_evidence(obs: str) -> bool:
+            if obs.startswith("Error:"):
+                return False
+            scrubbed = obs
+            for phrase in self._CLEAN_PHRASES:
+                scrubbed = scrubbed.replace(phrase, "")
+            return any(pat in scrubbed for pat in _EVIDENCE_PATTERNS)
+
+        evidence_steps = [s for s in session.steps if is_evidence(s.observation)]
+        gathered_any = any(
+            s.action_name in ("get_logs", "get_metrics", "get_traces", "exec_shell")
+            for s in session.steps
+        )
+        sol = str(session.solution).lower()
+        if expected_task == "detection":
+            if sol.strip("[]'\" ") == "yes":
+                grounded = bool(evidence_steps)
+                why = ("fault claim supported by error evidence in trajectory"
+                       if grounded else
+                       "agent claimed a fault but gathered no supporting evidence")
+            else:
+                grounded = gathered_any and not evidence_steps
+                why = ("no-fault claim consistent with clean telemetry"
+                       if grounded else
+                       "agent claimed no fault despite error evidence (or "
+                       "without checking telemetry)")
+        else:
+            # answer tasks: the named services/causes should appear in evidence
+            named = set(re.findall(r"[a-z][a-z0-9-]{2,}", sol))
+            seen_text = " ".join(s.observation for s in evidence_steps).lower()
+            overlap = [n for n in named if n in seen_text]
+            grounded = bool(evidence_steps) and (bool(overlap) or not named)
+            why = (f"submission terms {overlap} appear in gathered evidence"
+                   if grounded else
+                   "submission names entities never observed in the trajectory")
+        score = 1.0 if grounded else 0.0
+        return Verdict(grounded=grounded, score=score, rationale=why)
+
+    @staticmethod
+    def _prompt(session: Session, expected_task: str) -> str:
+        return (
+            "You are judging an AIOps agent's trajectory.\n"
+            f"Task type: {expected_task}\n"
+            f"Transcript:\n{session.transcript()}\n\n"
+            "Is the final submission GROUNDED in the evidence the agent "
+            "gathered, or UNGROUNDED? Answer with one word and a reason."
+        )

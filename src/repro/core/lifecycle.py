@@ -1,0 +1,205 @@
+"""The AgentOps incident lifecycle (Figure 1): one incident, four chained
+tasks on the *same* live environment.
+
+The benchmark proper evaluates each task level in isolation (fresh
+environment per problem).  This module implements the end-to-end vision
+the paper motivates: an agent detects the incident, localizes it, analyzes
+the root cause, and mitigates — sequentially, with the environment carried
+over between stages and each stage graded by its own task oracle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.aci import SubmissionReceived, TaskActions, extract_api_docs
+from repro.core.env import CloudEnvironment
+from repro.core.evaluator import Evaluator
+from repro.core.parser import ActionParseError, parse_action
+from repro.core.problem import (
+    AnalysisTask, DetectionTask, LocalizationTask, MitigationTask, Problem,
+)
+from repro.core.session import Session, Step
+
+#: lifecycle stage order (Figure 1)
+STAGES: tuple[str, ...] = ("detection", "localization", "analysis",
+                           "mitigation")
+
+_STAGE_CLASSES: dict[str, type[Problem]] = {
+    "detection": DetectionTask,
+    "localization": LocalizationTask,
+    "analysis": AnalysisTask,
+    "mitigation": MitigationTask,
+}
+
+#: agent factory: (stage, prob_desc, instructs, apis) -> agent object
+AgentFactory = Callable[[str, str, str, str], Any]
+
+
+@dataclass
+class StageResult:
+    """One lifecycle stage's outcome."""
+
+    stage: str
+    success: bool
+    solution: Any
+    duration_s: float
+    steps: int
+    session: Session
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class LifecycleResult:
+    """The full incident's outcome."""
+
+    fault: str
+    target: str
+    stages: list[StageResult] = field(default_factory=list)
+
+    @property
+    def resolved(self) -> bool:
+        """True if the incident was mitigated end to end."""
+        return bool(self.stages) and self.stages[-1].stage == "mitigation" \
+            and self.stages[-1].success
+
+    @property
+    def stages_passed(self) -> int:
+        return sum(s.success for s in self.stages)
+
+    def summary(self) -> str:
+        lines = [f"incident: {self.fault} @ {self.target}"]
+        for s in self.stages:
+            mark = "PASS" if s.success else "FAIL"
+            lines.append(f"  {s.stage:<13} {mark}  steps={s.steps} "
+                         f"t={s.duration_s:.0f}s  answer={s.solution!r}")
+        lines.append(f"resolved: {self.resolved}")
+        return "\n".join(lines)
+
+
+class IncidentLifecycle:
+    """Runs the four-stage lifecycle for one fault on one environment.
+
+    Parameters
+    ----------
+    fault:
+        Table-2 fault name/number (must support all four levels).
+    target:
+        Injection target (defaults to the fault's first default target).
+    seed:
+        Environment + agent seed.
+    max_steps_per_stage:
+        Step budget per stage (the benchmark's per-problem budget).
+    """
+
+    def __init__(self, fault: str | int, target: Optional[str] = None,
+                 seed: int = 0, max_steps_per_stage: int = 20) -> None:
+        # Build one problem per stage sharing fault/target; stage problems
+        # grade against the same ground truth, the environment is shared.
+        self.problems: dict[str, Problem] = {
+            stage: _STAGE_CLASSES[stage](fault, target=target)
+            for stage in STAGES
+        }
+        first = self.problems["detection"]
+        if first.spec is None or len(first.spec.task_levels) < 4:
+            raise ValueError(
+                f"fault {fault!r} does not support all four task levels")
+        self.fault_name = first.spec.name
+        self.target = first.target
+        self.seed = seed
+        self.max_steps_per_stage = max_steps_per_stage
+        self.env: Optional[CloudEnvironment] = None
+
+    # ------------------------------------------------------------------
+    def run(self, agent_factory: AgentFactory) -> LifecycleResult:
+        """Execute the lifecycle; a fresh agent is built per stage (the
+        factory may share memory between them if it wants to)."""
+        detection = self.problems["detection"]
+        self.env = detection.create_environment(seed=self.seed)
+        detection.start_workload(self.env)
+        detection.inject_fault(self.env)
+        # keep the single injection authoritative for every stage's oracle
+        for stage in STAGES[1:]:
+            self.problems[stage].injected_at = detection.injected_at
+
+        actions = TaskActions(self.env)
+        result = LifecycleResult(fault=self.fault_name, target=self.target)
+        for stage in STAGES:
+            stage_result = self._run_stage(stage, actions, agent_factory)
+            result.stages.append(stage_result)
+            if stage == "detection" and not stage_result.success:
+                break  # an undetected incident is never triaged (Figure 1)
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_stage(self, stage: str, actions: TaskActions,
+                   agent_factory: AgentFactory) -> StageResult:
+        problem = self.problems[stage]
+        env = self.env
+        prob_desc = problem.problem_description(env)
+        instructs = ("Interact step by step; one API call per response; "
+                     "finish with submit(...).")
+        apis = extract_api_docs()
+        agent = agent_factory(stage, prob_desc, instructs, apis)
+
+        session = Session(pid=f"lifecycle-{self.fault_name}-{stage}",
+                          agent_name=getattr(agent, "name", "agent"),
+                          started_at=env.clock.now)
+        solution: Any = None
+        state = "Stage started. Take your first action."
+        for index in range(self.max_steps_per_stage):
+            raw = str(self._resolve(agent.get_action(state)))
+            consume = getattr(agent, "consume_stats", None)
+            latency = 5.0
+            if callable(consume):
+                in_tok, out_tok, latency = consume()
+                session.add_tokens(in_tok, out_tok)
+            env.advance(max(latency, 0.1))
+            step = Step(index=index, time=env.clock.now, action_raw=raw,
+                        action_name="", action_args=(), observation="")
+            try:
+                parsed = parse_action(raw)
+                step.action_name = parsed.name
+                step.action_args = parsed.args
+                step.observation = str(
+                    getattr(actions, parsed.name)(*parsed.args,
+                                                  **parsed.kwargs))
+            except SubmissionReceived as sub:
+                solution = sub.solution
+                session.submitted = True
+                session.solution = solution
+                step.action_name = "submit"
+                step.observation = "Solution submitted."
+                session.add_step(step)
+                break
+            except ActionParseError as e:
+                step.valid = False
+                step.action_name = "invalid"
+                step.observation = str(e)
+            except Exception as e:  # noqa: BLE001 - feedback, not crash
+                step.observation = f"Error: {e}"
+            session.add_step(step)
+            state = step.observation
+        session.ended_at = env.clock.now
+
+        evaluation = Evaluator(problem, env).evaluate(session, solution)
+        success = evaluation.success and session.submitted
+        return StageResult(
+            stage=stage, success=success, solution=solution,
+            duration_s=evaluation.duration_s, steps=evaluation.steps,
+            session=session, details=evaluation.details,
+        )
+
+    @staticmethod
+    def _resolve(result):
+        """Support both sync and async ``get_action`` implementations."""
+        import inspect
+
+        if inspect.isawaitable(result):
+            async def _wrap():
+                return await result
+
+            return asyncio.run(_wrap())
+        return result

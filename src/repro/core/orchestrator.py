@@ -1,0 +1,191 @@
+"""The Orchestrator (§2.2): sessions, the agent loop, and evaluation."""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+from typing import Any, Optional, Union
+
+from repro.core.aci import SubmissionReceived, TaskActions, extract_api_docs
+from repro.core.env import CloudEnvironment
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.parser import ActionParseError, parse_action
+from repro.core.problem import Problem
+from repro.core.session import Session, Step
+
+
+class Orchestrator:
+    """Coordinates agent ↔ cloud interaction for one problem at a time.
+
+    Usage (mirrors the paper's Example 2.3)::
+
+        orch = Orchestrator()
+        prob_desc, instructs, apis = orch.init_problem(problem)
+        orch.register_agent(agent, name="myAgent")
+        result = asyncio.run(orch.start_problem(max_steps=10))
+
+    ``init_problem`` also accepts a problem id string, resolved through
+    :mod:`repro.problems`.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the problem's environment (and thus all derived randomness).
+    step_env_seconds:
+        Fallback virtual seconds per step when an agent reports no latency.
+    """
+
+    def __init__(self, seed: int = 0, step_env_seconds: float = 5.0) -> None:
+        self.seed = seed
+        self.step_env_seconds = step_env_seconds
+        self.problem: Optional[Problem] = None
+        self.env: Optional[CloudEnvironment] = None
+        self.actions: Optional[TaskActions] = None
+        self.agent: Any = None
+        self.agent_name: str = "agent"
+        self.session: Optional[Session] = None
+        self.sessions: list[Session] = []
+
+    # ------------------------------------------------------------------
+    def init_problem(
+        self, problem: Union[Problem, str]
+    ) -> tuple[str, str, str]:
+        """Set the problem up (deploy, warm up, inject) and return the
+        context shared with the agent: (description, instructions, API docs)."""
+        if isinstance(problem, str):
+            from repro.problems import get_problem
+            problem = get_problem(problem)
+        self.problem = problem
+        self.env = problem.create_environment(seed=self.seed)
+        problem.start_workload(self.env)
+        problem.inject_fault(self.env)
+        self.actions = TaskActions(self.env)
+        prob_desc = problem.problem_description(self.env)
+        instructs = (
+            "Interact step by step. Each response must be exactly one API "
+            "call. Finish by calling submit(...). You have a limited number "
+            "of steps."
+        )
+        apis = extract_api_docs()
+        return prob_desc, instructs, apis
+
+    def register_agent(self, agent: Any, name: str = "agent") -> None:
+        """Register the agent; it must implement
+        ``async def get_action(state: str) -> str`` (sync also accepted)."""
+        if not hasattr(agent, "get_action"):
+            raise TypeError("agent must implement get_action(state) -> str")
+        self.agent = agent
+        self.agent_name = name
+
+    # ------------------------------------------------------------------
+    async def start_problem(self, max_steps: int = 20) -> dict:
+        """Run the session loop and return the evaluation results dict."""
+        if self.problem is None or self.env is None or self.actions is None:
+            raise RuntimeError("call init_problem() before start_problem()")
+        if self.agent is None:
+            raise RuntimeError("call register_agent() before start_problem()")
+
+        env = self.env
+        session = Session(
+            pid=self.problem.pid,
+            agent_name=self.agent_name,
+            started_at=env.clock.now,
+        )
+        self.session = session
+        self.sessions.append(session)
+
+        state = "Session started. Take your first action."
+        solution: Any = None
+        for index in range(max_steps):
+            raw = await self._ask_agent(state)
+            in_tok, out_tok, latency = self._agent_stats()
+            session.add_tokens(in_tok, out_tok)
+            env.advance(max(latency, 0.0) or self.step_env_seconds)
+
+            step = Step(
+                index=index, time=env.clock.now, action_raw=raw,
+                action_name="", action_args=(), observation="",
+            )
+            try:
+                parsed = parse_action(raw)
+                step.action_name = parsed.name
+                step.action_args = parsed.args
+                if parsed.name == "exec_shell" and parsed.args:
+                    tokens = str(parsed.args[0]).split()
+                    step.shell_command = tokens[0] if tokens else ""
+                observation = self._execute(parsed)
+                step.observation = observation
+            except SubmissionReceived as sub:
+                solution = sub.solution
+                session.submitted = True
+                session.solution = solution
+                step.observation = "Solution submitted."
+                session.add_step(step)
+                break
+            except ActionParseError as e:
+                step.valid = False
+                step.action_name = "invalid"
+                step.observation = str(e)
+            session.add_step(step)
+            state = step.observation
+        session.ended_at = env.clock.now
+
+        evaluator = Evaluator(self.problem, env)
+        result = evaluator.evaluate(session, solution)
+        if not session.submitted:
+            # No submission within the step budget is a failure for answer
+            # tasks; mitigation is graded on the environment state anyway
+            # but still requires the agent to have declared completion.
+            result.success = False
+            result.details["success"] = False
+            result.details.setdefault("reason", "no submission within step limit")
+        return self._result_dict(result)
+
+    def run_problem(self, max_steps: int = 20) -> dict:
+        """Synchronous convenience wrapper around :meth:`start_problem`."""
+        return asyncio.run(self.start_problem(max_steps=max_steps))
+
+    # ------------------------------------------------------------------
+    async def _ask_agent(self, state: str) -> str:
+        result = self.agent.get_action(state)
+        if inspect.isawaitable(result):
+            result = await result
+        return str(result)
+
+    def _agent_stats(self) -> tuple[int, int, float]:
+        """Pull (input_tokens, output_tokens, latency_s) for the last call.
+
+        Agents may expose ``consume_stats()``; others get defaults so any
+        framework can be wrapped with a few lines (the paper's onboarding
+        claim).
+        """
+        consume = getattr(self.agent, "consume_stats", None)
+        if callable(consume):
+            return consume()
+        return 0, 0, self.step_env_seconds
+
+    def _execute(self, parsed) -> str:
+        method = getattr(self.actions, parsed.name)
+        try:
+            out = method(*parsed.args, **parsed.kwargs)
+        except SubmissionReceived:
+            raise
+        except TypeError as e:
+            return (f"Error: invalid arguments for {parsed.name}: {e}")
+        except Exception as e:  # surface env errors as feedback, not crashes
+            return f"Error: {e}"
+        return str(out)
+
+    def _result_dict(self, result: EvaluationResult) -> dict:
+        out = {
+            "pid": result.pid,
+            "task_type": result.task_type,
+            "agent": result.agent_name,
+            "success": result.success,
+            "duration_s": result.duration_s,
+            "steps": result.steps,
+            "input_tokens": result.input_tokens,
+            "output_tokens": result.output_tokens,
+        }
+        out.update(result.details)
+        return out

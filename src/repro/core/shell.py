@@ -1,0 +1,189 @@
+"""``exec_shell``: the security-filtered shell behind the ACI.
+
+Routes ``kubectl`` to the Kubectl facade, ``helm`` to a small helm CLI
+parser, and blocks anything destructive or out of scope — the paper's
+"execute shell commands after applying security policy filters".
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from typing import TYPE_CHECKING
+
+from repro.simcore import PolicyViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.env import CloudEnvironment
+
+#: commands the policy always refuses, with the regexes that catch them
+_DENY_PATTERNS = [
+    (re.compile(r"\brm\s+-rf\s+/"), "recursive delete of filesystem root"),
+    (re.compile(r"\b(shutdown|reboot|halt)\b"), "host power control"),
+    (re.compile(r"\bmkfs\b"), "filesystem formatting"),
+    (re.compile(r"\bdd\s+if="), "raw disk writes"),
+    (re.compile(r":\(\)\s*\{.*\};\s*:"), "fork bomb"),
+    (re.compile(r"\bcurl\b|\bwget\b"), "external network access"),
+    (re.compile(r"\bkubectl\s+delete\s+(namespace|ns)\b"),
+     "namespace deletion would destroy the environment"),
+]
+
+#: binaries the policy allows as entry points
+_ALLOW_BINARIES = {"kubectl", "helm", "cat", "ls", "grep", "head", "tail", "echo"}
+
+
+class ShellExecutor:
+    """Executes shell command strings against the simulated environment."""
+
+    def __init__(self, env: "CloudEnvironment") -> None:
+        self.env = env
+
+    def check_policy(self, command: str) -> None:
+        """Raise :class:`PolicyViolation` if the command is disallowed."""
+        for pattern, why in _DENY_PATTERNS:
+            if pattern.search(command):
+                raise PolicyViolation(f"command blocked by security policy: {why}")
+        try:
+            argv = shlex.split(command)
+        except ValueError as e:
+            raise PolicyViolation(f"unparseable command: {e}") from None
+        if not argv:
+            raise PolicyViolation("empty command")
+        if argv[0] not in _ALLOW_BINARIES:
+            raise PolicyViolation(
+                f'binary "{argv[0]}" is not in the allowed set '
+                f"({', '.join(sorted(_ALLOW_BINARIES))})"
+            )
+
+    def run(self, command: str) -> str:
+        """Execute one command; policy violations come back as error text."""
+        try:
+            self.check_policy(command)
+        except PolicyViolation as e:
+            return f"PolicyError: {e}"
+        argv = shlex.split(command)
+        binary = argv[0]
+        if binary == "kubectl":
+            return self.env.kubectl.run(command)
+        if binary == "helm":
+            return self._run_helm(argv[1:])
+        if binary == "echo":
+            return " ".join(argv[1:])
+        if binary in ("cat", "ls", "grep", "head", "tail"):
+            return self._run_file_tool(argv)
+        return f"sh: command not found: {binary}"
+
+    # -- helm CLI -----------------------------------------------------------
+    def _run_helm(self, argv: list[str]) -> str:
+        helm = self.env.helm
+        if not argv:
+            return "helm: usage: helm [list|upgrade|get] ..."
+        verb = argv[0]
+        if verb in ("list", "ls"):
+            rows = [
+                f"{r.name}\t{r.namespace}\t{r.revision}\t{r.chart.name}-{r.chart.version}"
+                for r in helm.releases.values()
+            ]
+            return "NAME\tNAMESPACE\tREVISION\tCHART\n" + "\n".join(rows)
+        if verb == "upgrade":
+            rest = [a for a in argv[1:] if not a.startswith("-")]
+            sets = self._collect_set_flags(argv[1:])
+            if not rest:
+                return "Error: helm upgrade needs a release name"
+            release_name = rest[0]
+            if release_name not in helm.releases:
+                return f'Error: release "{release_name}" not found'
+            values = self._sets_to_values(sets)
+            helm.upgrade(release_name, values)
+            rel = helm.releases[release_name]
+            return (f'Release "{release_name}" has been upgraded. Happy Helming!\n'
+                    f"REVISION: {rel.revision}")
+        if verb == "get":
+            if len(argv) >= 3 and argv[1] == "values":
+                rel = helm.releases.get(argv[2])
+                if rel is None:
+                    return f'Error: release "{argv[2]}" not found'
+                return f"USER-SUPPLIED VALUES:\n{rel.values}"
+            return "helm get: supported: helm get values RELEASE"
+        return f'Error: unknown command "{verb}" for "helm"'
+
+    @staticmethod
+    def _collect_set_flags(argv: list[str]) -> list[str]:
+        sets = []
+        i = 0
+        while i < len(argv):
+            if argv[i] == "--set" and i + 1 < len(argv):
+                sets.append(argv[i + 1])
+                i += 2
+            elif argv[i].startswith("--set="):
+                sets.append(argv[i].split("=", 1)[1])
+                i += 1
+            else:
+                i += 1
+        return sets
+
+    @staticmethod
+    def _sets_to_values(sets: list[str]) -> dict:
+        """``a.b.c=v`` strings → nested dict (helm --set semantics, dotted)."""
+        values: dict = {}
+        for assignment in sets:
+            if "=" not in assignment:
+                continue
+            path, raw = assignment.split("=", 1)
+            value: object = raw
+            if raw.lower() in ("true", "false"):
+                value = raw.lower() == "true"
+            node = values
+            keys = path.split(".")
+            for key in keys[:-1]:
+                node = node.setdefault(key, {})
+            node[keys[-1]] = value
+        return values
+
+    # -- read-only file tools over exported telemetry --------------------------
+    def _run_file_tool(self, argv: list[str]) -> str:
+        """cat/ls/grep/head/tail restricted to the telemetry export root."""
+        import pathlib
+
+        root = self.env.exporter.root.resolve()
+        binary = argv[0]
+        paths = [a for a in argv[1:] if not a.startswith("-")]
+        if binary == "grep" and len(paths) >= 2:
+            pattern, files = paths[0], paths[1:]
+        else:
+            pattern, files = "", paths
+        if not files:
+            if binary == "ls":
+                files = [str(root)]
+            else:
+                return f"{binary}: missing file operand"
+        out: list[str] = []
+        for f in files:
+            p = pathlib.Path(f)
+            if not p.is_absolute():
+                p = root / p
+            p = p.resolve()
+            if not str(p).startswith(str(root)):
+                return (f"PolicyError: {binary} may only access the telemetry "
+                        f"export directory {root}")
+            if binary == "ls":
+                if p.is_dir():
+                    out.append("\n".join(sorted(x.name for x in p.iterdir())))
+                elif p.exists():
+                    out.append(p.name)
+                else:
+                    return f"ls: cannot access '{f}': No such file or directory"
+                continue
+            if not p.exists():
+                return f"{binary}: {f}: No such file or directory"
+            text = p.read_text()
+            if binary == "cat":
+                out.append(text)
+            elif binary == "head":
+                out.append("\n".join(text.splitlines()[:10]))
+            elif binary == "tail":
+                out.append("\n".join(text.splitlines()[-10:]))
+            elif binary == "grep":
+                out.append("\n".join(
+                    line for line in text.splitlines() if pattern in line))
+        return "\n".join(out)

@@ -1,0 +1,96 @@
+"""Trajectory persistence (§2.2.3: "the Orchestrator maintains comprehensive
+logs of all agent trajectories ... facilitating detailed analysis and
+debugging").
+
+Sessions serialize to JSONL — one header line plus one line per step — so
+they can be replayed into the bench figures or diffed across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.session import Session, Step
+
+
+def save_session(session: Session, path: str | Path) -> Path:
+    """Write one session to a JSONL file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as f:
+        f.write(json.dumps({
+            "kind": "header",
+            "pid": session.pid,
+            "agent": session.agent_name,
+            "started_at": session.started_at,
+            "ended_at": session.ended_at,
+            "input_tokens": session.input_tokens,
+            "output_tokens": session.output_tokens,
+            "submitted": session.submitted,
+            "solution": _jsonable(session.solution),
+        }) + "\n")
+        for step in session.steps:
+            f.write(json.dumps({
+                "kind": "step",
+                "index": step.index,
+                "time": step.time,
+                "action_raw": step.action_raw,
+                "action_name": step.action_name,
+                "action_args": [_jsonable(a) for a in step.action_args],
+                "observation": step.observation,
+                "valid": step.valid,
+                "shell_command": step.shell_command,
+            }) + "\n")
+    return path
+
+
+def load_session(path: str | Path) -> Session:
+    """Read a session back from JSONL."""
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"empty trajectory file: {path}")
+    header = json.loads(lines[0])
+    if header.get("kind") != "header":
+        raise ValueError(f"not a trajectory file (missing header): {path}")
+    session = Session(
+        pid=header["pid"], agent_name=header["agent"],
+        started_at=header["started_at"],
+    )
+    session.ended_at = header.get("ended_at")
+    session.input_tokens = header.get("input_tokens", 0)
+    session.output_tokens = header.get("output_tokens", 0)
+    session.submitted = header.get("submitted", False)
+    session.solution = header.get("solution")
+    for line in lines[1:]:
+        rec = json.loads(line)
+        if rec.get("kind") != "step":
+            continue
+        session.add_step(Step(
+            index=rec["index"], time=rec["time"],
+            action_raw=rec["action_raw"], action_name=rec["action_name"],
+            action_args=tuple(rec["action_args"]),
+            observation=rec["observation"], valid=rec.get("valid", True),
+            shell_command=rec.get("shell_command", ""),
+        ))
+    return session
+
+
+def save_all(sessions: Iterable[Session], directory: str | Path) -> list[Path]:
+    """Persist a batch of sessions as ``<agent>__<pid>.jsonl`` files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i, session in enumerate(sessions):
+        name = f"{session.agent_name}__{session.pid}__{i:03d}.jsonl"
+        paths.append(save_session(session, directory / name))
+    return paths
+
+
+def _jsonable(value):
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)

@@ -1,0 +1,84 @@
+"""ChaosMesh-style chaos resources over the simulated cluster.
+
+The real AIOpsLab integrates ChaosMesh for symptomatic faults; this module
+models its two relevant experiment kinds as declarative resources you
+apply/delete, so the symptomatic injector (and users extending the library)
+get the same mental model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import App
+from repro.simcore import InvalidAction
+
+
+@dataclass
+class NetworkChaos:
+    """``NetworkChaos`` with ``action: loss`` — drop a fraction of packets
+    to the selected services."""
+
+    name: str
+    services: list[str]
+    loss: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise InvalidAction(f"loss must be in [0,1], got {self.loss}")
+
+
+@dataclass
+class PodChaos:
+    """``PodChaos`` with ``action: pod-failure`` — keep the selected
+    services' pods in a failed (CrashLoopBackOff) state."""
+
+    name: str
+    services: list[str]
+
+
+class ChaosMesh:
+    """Applies and removes chaos resources against a deployed app."""
+
+    def __init__(self, app: App) -> None:
+        if app.runtime is None or app.cluster is None:
+            raise InvalidAction("app must be deployed before applying chaos")
+        self.app = app
+        self.applied: dict[str, NetworkChaos | PodChaos] = {}
+
+    def apply(self, resource: NetworkChaos | PodChaos) -> None:
+        if resource.name in self.applied:
+            raise InvalidAction(f'chaos resource "{resource.name}" already applied')
+        if isinstance(resource, NetworkChaos):
+            for svc in resource.services:
+                self.app.runtime.network_loss[svc] = resource.loss
+        elif isinstance(resource, PodChaos):
+            for svc in resource.services:
+                self._set_pod_failure(svc, failing=True)
+        self.applied[resource.name] = resource
+
+    def delete(self, name: str) -> None:
+        resource = self.applied.pop(name, None)
+        if resource is None:
+            raise InvalidAction(f'chaos resource "{name}" not found')
+        if isinstance(resource, NetworkChaos):
+            for svc in resource.services:
+                self.app.runtime.network_loss.pop(svc, None)
+        elif isinstance(resource, PodChaos):
+            for svc in resource.services:
+                self._set_pod_failure(svc, failing=False)
+
+    def _set_pod_failure(self, service: str, failing: bool) -> None:
+        cluster = self.app.cluster
+        ns = self.app.namespace
+        for pod in cluster.pods_in(ns):
+            if pod.owner == service:
+                pod.crash_looping = failing
+                if failing:
+                    pod.restart_count += 3
+                    cluster.record_event(
+                        ns, "Pod", pod.name, "BackOff",
+                        f"Back-off restarting failed container {service}",
+                        event_type="Warning",
+                    )
+        cluster.reconcile()

@@ -1,0 +1,53 @@
+"""Symptomatic faults (§2.4.2): observable symptoms, no deeper root cause."""
+
+from __future__ import annotations
+
+from repro.faults.base import FaultInjector, InjectedFault
+from repro.faults.chaosmesh import ChaosMesh, NetworkChaos, PodChaos
+
+
+class SymptomaticFaultInjector(FaultInjector):
+    """Network loss and pod failure, applied through :class:`ChaosMesh`."""
+
+    DEFAULT_LOSS = 0.7
+
+    def __init__(self, app) -> None:
+        super().__init__(app)
+        self.chaos = ChaosMesh(app)
+
+    # -- network loss -------------------------------------------------------
+    def inject_network_loss(self, targets: list[str],
+                            record: InjectedFault) -> None:
+        """Drop ~70% of packets destined for the target services."""
+        name = f"network-loss-{'-'.join(targets)}"
+        self.chaos.apply(NetworkChaos(name=name, services=list(targets),
+                                      loss=self.DEFAULT_LOSS))
+        record.saved_state["resource"] = name
+
+    def recover_network_loss(self, targets: list[str],
+                             record: InjectedFault) -> None:
+        name = record.saved_state.get(
+            "resource", f"network-loss-{'-'.join(targets)}")
+        if name in self.chaos.applied:
+            self.chaos.delete(name)
+        else:  # recovery without a live record: clear state directly
+            for svc in targets:
+                self.runtime.network_loss.pop(svc, None)
+
+    # -- pod failure ----------------------------------------------------------
+    def inject_pod_failure(self, targets: list[str],
+                           record: InjectedFault) -> None:
+        """Force the targets' pods into CrashLoopBackOff."""
+        name = f"pod-failure-{'-'.join(targets)}"
+        self.chaos.apply(PodChaos(name=name, services=list(targets)))
+        record.saved_state["resource"] = name
+
+    def recover_pod_failure(self, targets: list[str],
+                            record: InjectedFault) -> None:
+        name = record.saved_state.get(
+            "resource", f"pod-failure-{'-'.join(targets)}")
+        if name in self.chaos.applied:
+            self.chaos.delete(name)
+        else:
+            for svc in targets:
+                self.chaos._set_pod_failure(svc, failing=False)

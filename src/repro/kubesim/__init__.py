@@ -1,0 +1,59 @@
+"""An in-process Kubernetes simulator.
+
+``kubesim`` models the slice of Kubernetes that AIOps incidents live in:
+
+* the object model — :class:`Pod`, :class:`Deployment`, :class:`Service`,
+  :class:`Endpoints`, :class:`Node`, :class:`ConfigMap`, :class:`Secret`;
+* an API-server-like state store (:class:`Cluster`) with namespaced CRUD;
+* reconciling controllers — deployments create/delete pods, the endpoints
+  controller matches services to ready pods *including targetPort
+  validation*, and a scheduler binds pods to nodes;
+* a ``kubectl`` text facade (:class:`Kubectl`) that renders output the way
+  the real CLI does, so language agents can operate it;
+* a ``helm`` facade for chart-driven application deployment.
+
+Faults manifest mechanically: scaling a deployment to zero removes its
+pods, which empties the service's endpoints, which makes upstream RPC
+calls fail with "connection refused" — exactly the causal chain an agent
+must trace in the real system.
+"""
+
+from repro.kubesim.objects import (
+    ObjectMeta,
+    Container,
+    ContainerPort,
+    Pod,
+    PodPhase,
+    Deployment,
+    Service,
+    ServicePort,
+    Endpoints,
+    Node,
+    ConfigMap,
+    Secret,
+    ClusterEvent,
+)
+from repro.kubesim.cluster import Cluster
+from repro.kubesim.kubectl import Kubectl
+from repro.kubesim.helm import Helm, HelmChart, HelmRelease
+
+__all__ = [
+    "ObjectMeta",
+    "Container",
+    "ContainerPort",
+    "Pod",
+    "PodPhase",
+    "Deployment",
+    "Service",
+    "ServicePort",
+    "Endpoints",
+    "Node",
+    "ConfigMap",
+    "Secret",
+    "ClusterEvent",
+    "Cluster",
+    "Kubectl",
+    "Helm",
+    "HelmChart",
+    "HelmRelease",
+]

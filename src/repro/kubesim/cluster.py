@@ -1,0 +1,303 @@
+"""The cluster state store — an in-process stand-in for the API server."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.simcore import RngStream, SimClock, ResourceNotFound, InvalidAction
+from repro.kubesim.objects import (
+    ClusterEvent,
+    ConfigMap,
+    Deployment,
+    Endpoints,
+    Node,
+    ObjectMeta,
+    Pod,
+    PodPhase,
+    Secret,
+    Service,
+)
+from repro.kubesim.scheduler import Scheduler
+from repro.kubesim.controllers import DeploymentController, EndpointsController
+
+
+class Cluster:
+    """Holds every Kubernetes object and runs the reconciling controllers.
+
+    All mutations go through CRUD methods; :meth:`reconcile` then drives the
+    system to the desired state (deployments stamp pods, the scheduler binds
+    them, the endpoints controller recomputes service backends).  Mutating
+    methods call ``reconcile()`` themselves, so callers always observe a
+    settled cluster.
+
+    Parameters
+    ----------
+    clock:
+        Shared simulation clock; object creation times and events use it.
+    seed:
+        Root seed for pod-name suffixes and IP assignment.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None, seed: int = 0) -> None:
+        self.clock = clock or SimClock()
+        self.rng = RngStream(seed, "kubesim")
+        self._uid_counter = itertools.count(1)
+        self._ip_counter = itertools.count(2)
+
+        self.namespaces: set[str] = {"default", "kube-system"}
+        self.nodes: dict[str, Node] = {}
+        self.pods: dict[tuple[str, str], Pod] = {}
+        self.deployments: dict[tuple[str, str], Deployment] = {}
+        self.services: dict[tuple[str, str], Service] = {}
+        self.endpoints: dict[tuple[str, str], Endpoints] = {}
+        self.configmaps: dict[tuple[str, str], ConfigMap] = {}
+        self.secrets: dict[tuple[str, str], Secret] = {}
+        self.events: list[ClusterEvent] = []
+
+        self._scheduler = Scheduler(self)
+        self._deploy_ctrl = DeploymentController(self)
+        self._endpoints_ctrl = EndpointsController(self)
+
+        # Default control-plane node so a fresh cluster is schedulable.
+        self.add_node("node-0")
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers
+    # ------------------------------------------------------------------
+    def _next_uid(self) -> str:
+        return f"uid-{next(self._uid_counter):06d}"
+
+    def _next_ip(self) -> str:
+        n = next(self._ip_counter)
+        return f"10.244.{(n >> 8) & 0xFF}.{n & 0xFF}"
+
+    def record_event(
+        self,
+        namespace: str,
+        kind: str,
+        name: str,
+        reason: str,
+        message: str,
+        event_type: str = "Normal",
+    ) -> None:
+        self.events.append(
+            ClusterEvent(
+                time=self.clock.now,
+                namespace=namespace,
+                kind=kind,
+                name=name,
+                reason=reason,
+                message=message,
+                event_type=event_type,
+            )
+        )
+
+    def events_in(self, namespace: str) -> list[ClusterEvent]:
+        return [e for e in self.events if e.namespace == namespace]
+
+    # ------------------------------------------------------------------
+    # namespaces & nodes
+    # ------------------------------------------------------------------
+    def create_namespace(self, name: str) -> None:
+        self.namespaces.add(name)
+
+    def delete_namespace(self, name: str) -> None:
+        """Delete a namespace and everything inside it."""
+        if name not in self.namespaces:
+            raise ResourceNotFound("Namespace", name)
+        self.namespaces.discard(name)
+        for store in (
+            self.pods,
+            self.deployments,
+            self.services,
+            self.endpoints,
+            self.configmaps,
+            self.secrets,
+        ):
+            for key in [k for k in store if k[0] == name]:
+                del store[key]
+
+    def require_namespace(self, name: str) -> None:
+        if name not in self.namespaces:
+            raise ResourceNotFound("Namespace", name)
+
+    def add_node(self, name: str, labels: Optional[dict[str, str]] = None) -> Node:
+        node = Node(meta=ObjectMeta(name=name, namespace=""), labels=labels or {})
+        self.nodes[name] = node
+        return node
+
+    def remove_node(self, name: str) -> None:
+        if name not in self.nodes:
+            raise ResourceNotFound("Node", name)
+        del self.nodes[name]
+        self.reconcile()
+
+    # ------------------------------------------------------------------
+    # generic CRUD
+    # ------------------------------------------------------------------
+    def create_deployment(self, dep: Deployment) -> Deployment:
+        self.require_namespace(dep.namespace)
+        key = (dep.namespace, dep.name)
+        if key in self.deployments:
+            raise InvalidAction(f'deployment "{dep.name}" already exists')
+        dep.meta.uid = self._next_uid()
+        dep.meta.creation_time = self.clock.now
+        self.deployments[key] = dep
+        self.record_event(
+            dep.namespace, "Deployment", dep.name, "ScalingReplicaSet",
+            f"Scaled up replica set {dep.name} to {dep.replicas}",
+        )
+        self.reconcile()
+        return dep
+
+    def get_deployment(self, namespace: str, name: str) -> Deployment:
+        try:
+            return self.deployments[(namespace, name)]
+        except KeyError:
+            raise ResourceNotFound("Deployment", name, namespace) from None
+
+    def delete_deployment(self, namespace: str, name: str) -> None:
+        self.get_deployment(namespace, name)
+        del self.deployments[(namespace, name)]
+        self.reconcile()
+
+    def scale_deployment(self, namespace: str, name: str, replicas: int) -> Deployment:
+        if replicas < 0:
+            raise InvalidAction(f"replicas must be >= 0, got {replicas}")
+        dep = self.get_deployment(namespace, name)
+        old = dep.replicas
+        dep.replicas = replicas
+        dep.generation += 1
+        verb = "up" if replicas > old else "down"
+        self.record_event(
+            namespace, "Deployment", name, "ScalingReplicaSet",
+            f"Scaled {verb} replica set {name} to {replicas}",
+        )
+        self.reconcile()
+        return dep
+
+    def create_service(self, svc: Service) -> Service:
+        self.require_namespace(svc.namespace)
+        key = (svc.namespace, svc.name)
+        if key in self.services:
+            raise InvalidAction(f'service "{svc.name}" already exists')
+        svc.meta.uid = self._next_uid()
+        svc.meta.creation_time = self.clock.now
+        if not svc.cluster_ip:
+            svc.cluster_ip = f"10.96.{self.rng.integers(0, 255)}.{self.rng.integers(2, 255)}"
+        self.services[key] = svc
+        self.reconcile()
+        return svc
+
+    def get_service(self, namespace: str, name: str) -> Service:
+        try:
+            return self.services[(namespace, name)]
+        except KeyError:
+            raise ResourceNotFound("Service", name, namespace) from None
+
+    def delete_service(self, namespace: str, name: str) -> None:
+        self.get_service(namespace, name)
+        del self.services[(namespace, name)]
+        self.endpoints.pop((namespace, name), None)
+
+    def get_endpoints(self, namespace: str, name: str) -> Endpoints:
+        try:
+            return self.endpoints[(namespace, name)]
+        except KeyError:
+            raise ResourceNotFound("Endpoints", name, namespace) from None
+
+    def create_pod(self, pod: Pod) -> Pod:
+        self.require_namespace(pod.namespace)
+        key = (pod.namespace, pod.name)
+        if key in self.pods:
+            raise InvalidAction(f'pod "{pod.name}" already exists')
+        pod.meta.uid = self._next_uid()
+        pod.meta.creation_time = self.clock.now
+        pod.start_time = self.clock.now
+        self.pods[key] = pod
+        self.reconcile()
+        return pod
+
+    def get_pod(self, namespace: str, name: str) -> Pod:
+        try:
+            return self.pods[(namespace, name)]
+        except KeyError:
+            raise ResourceNotFound("Pod", name, namespace) from None
+
+    def delete_pod(self, namespace: str, name: str) -> None:
+        pod = self.get_pod(namespace, name)
+        self.record_event(namespace, "Pod", name, "Killing", f"Stopping container {name}")
+        del self.pods[(namespace, pod.name)]
+        self.reconcile()
+
+    def create_configmap(self, cm: ConfigMap) -> ConfigMap:
+        self.require_namespace(cm.namespace)
+        cm.meta.uid = self._next_uid()
+        cm.meta.creation_time = self.clock.now
+        self.configmaps[(cm.namespace, cm.name)] = cm
+        return cm
+
+    def get_configmap(self, namespace: str, name: str) -> ConfigMap:
+        try:
+            return self.configmaps[(namespace, name)]
+        except KeyError:
+            raise ResourceNotFound("ConfigMap", name, namespace) from None
+
+    def create_secret(self, s: Secret) -> Secret:
+        self.require_namespace(s.namespace)
+        s.meta.uid = self._next_uid()
+        s.meta.creation_time = self.clock.now
+        self.secrets[(s.namespace, s.name)] = s
+        return s
+
+    def get_secret(self, namespace: str, name: str) -> Secret:
+        try:
+            return self.secrets[(namespace, name)]
+        except KeyError:
+            raise ResourceNotFound("Secret", name, namespace) from None
+
+    # ------------------------------------------------------------------
+    # queries used by controllers and telemetry
+    # ------------------------------------------------------------------
+    def pods_in(self, namespace: str) -> list[Pod]:
+        return [p for (ns, _), p in sorted(self.pods.items()) if ns == namespace]
+
+    def deployments_in(self, namespace: str) -> list[Deployment]:
+        return [d for (ns, _), d in sorted(self.deployments.items()) if ns == namespace]
+
+    def services_in(self, namespace: str) -> list[Service]:
+        return [s for (ns, _), s in sorted(self.services.items()) if ns == namespace]
+
+    def pods_matching(self, namespace: str, selector: dict[str, str]) -> list[Pod]:
+        if not selector:
+            return []
+        return [p for p in self.pods_in(namespace) if p.meta.matches(selector)]
+
+    def pods_for_deployment(self, dep: Deployment) -> list[Pod]:
+        return [
+            p for p in self.pods_in(dep.namespace)
+            if p.owner == dep.name and p.meta.matches(dep.selector)
+        ]
+
+    def service_reachable(self, namespace: str, name: str) -> bool:
+        """True if a service exists and has at least one ready endpoint."""
+        ep = self.endpoints.get((namespace, name))
+        return ep is not None and ep.reachable
+
+    # ------------------------------------------------------------------
+    # reconciliation
+    # ------------------------------------------------------------------
+    def reconcile(self, rounds: int = 3) -> None:
+        """Run the controllers to a fixed point.
+
+        Three rounds suffice for every chain in this model (deployment →
+        pod → schedule → endpoints); extra rounds are no-ops.
+        """
+        for _ in range(rounds):
+            changed = False
+            changed |= self._deploy_ctrl.reconcile()
+            changed |= self._scheduler.reconcile()
+            changed |= self._endpoints_ctrl.reconcile()
+            if not changed:
+                break

@@ -1,0 +1,141 @@
+"""Reconciling controllers: deployments → pods, services → endpoints."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kubesim.objects import (
+    Endpoints,
+    EndpointAddress,
+    ObjectMeta,
+    Pod,
+    PodPhase,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kubesim.cluster import Cluster
+
+
+class DeploymentController:
+    """Keeps each deployment's pod count equal to ``spec.replicas``.
+
+    Pod names follow the familiar ``<deployment>-<hash>-<rand>`` shape so
+    kubectl output reads naturally to an agent.
+    """
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+
+    def _pod_name(self, dep_name: str) -> str:
+        rng = self.cluster.rng
+        alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+        mid = "".join(rng.choice(alphabet) for _ in range(9))
+        tail = "".join(rng.choice(alphabet) for _ in range(5))
+        return f"{dep_name}-{mid}-{tail}"
+
+    def reconcile(self) -> bool:
+        changed = False
+        for dep in list(self.cluster.deployments.values()):
+            pods = self.cluster.pods_for_deployment(dep)
+            live = [p for p in pods if not p.deletion_requested]
+            # scale up
+            while len(live) < dep.replicas:
+                pod = Pod(
+                    meta=ObjectMeta(
+                        name=self._pod_name(dep.name),
+                        namespace=dep.namespace,
+                        labels=dict(dep.template.labels),
+                    ),
+                    containers=dep.template.clone_containers(),
+                    node_selector=dict(dep.template.node_selector),
+                    node_name=dep.template.node_name,
+                    owner=dep.name,
+                )
+                pod.meta.uid = self.cluster._next_uid()
+                pod.meta.creation_time = self.cluster.clock.now
+                pod.start_time = self.cluster.clock.now
+                self.cluster.pods[(pod.namespace, pod.name)] = pod
+                self.cluster.record_event(
+                    dep.namespace, "Pod", pod.name, "SuccessfulCreate",
+                    f"Created pod: {pod.name}",
+                )
+                live.append(pod)
+                changed = True
+            # scale down (delete newest first, like the real controller's default)
+            while len(live) > dep.replicas:
+                victim = sorted(live, key=lambda p: (-p.meta.creation_time, p.name))[0]
+                self.cluster.record_event(
+                    dep.namespace, "Pod", victim.name, "Killing",
+                    f"Stopping container {victim.name}",
+                )
+                del self.cluster.pods[(victim.namespace, victim.name)]
+                live.remove(victim)
+                changed = True
+        # garbage-collect orphans whose deployment is gone
+        for key, pod in list(self.cluster.pods.items()):
+            if pod.owner and (pod.namespace, pod.owner) not in self.cluster.deployments:
+                del self.cluster.pods[key]
+                changed = True
+        return changed
+
+
+class EndpointsController:
+    """Recomputes each service's ready backends.
+
+    A pod backs a service only if **all** of:
+
+    1. its labels match the service selector,
+    2. it is Running and Ready (not crash-looping, not terminating),
+    3. one of its containers actually listens on the service's
+       ``targetPort``.
+
+    Rule 3 is what makes the *TargetPortMisconfig* fault observable: the
+    service object looks healthy, the pods look healthy, yet the endpoints
+    list is empty and every upstream call gets connection refused.
+    """
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+
+    def _backends(self, svc) -> list[EndpointAddress]:
+        out: list[EndpointAddress] = []
+        pods = self.cluster.pods_matching(svc.namespace, svc.selector)
+        for pod in pods:
+            if pod.phase is not PodPhase.RUNNING or not pod.ready:
+                continue
+            if pod.crash_looping or pod.deletion_requested:
+                continue
+            for sp in svc.ports:
+                if sp.target_port in pod.container_ports():
+                    out.append(
+                        EndpointAddress(
+                            ip=f"10.244.0.{(hash(pod.name) % 250) + 2}",
+                            pod_name=pod.name,
+                            port=sp.target_port,
+                        )
+                    )
+                    break
+        return sorted(out, key=lambda a: a.pod_name)
+
+    def reconcile(self) -> bool:
+        changed = False
+        for key, svc in list(self.cluster.services.items()):
+            desired = self._backends(svc)
+            existing = self.cluster.endpoints.get(key)
+            if existing is None:
+                self.cluster.endpoints[key] = Endpoints(
+                    meta=ObjectMeta(name=svc.name, namespace=svc.namespace),
+                    addresses=desired,
+                )
+                changed = True
+            else:
+                current = [(a.pod_name, a.port) for a in existing.addresses]
+                new = [(a.pod_name, a.port) for a in desired]
+                if current != new:
+                    existing.addresses = desired
+                    changed = True
+        # drop endpoints for deleted services
+        for key in [k for k in self.cluster.endpoints if k not in self.cluster.services]:
+            del self.cluster.endpoints[key]
+            changed = True
+        return changed

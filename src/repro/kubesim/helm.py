@@ -1,0 +1,169 @@
+"""A minimal Helm facade: charts render application objects into the cluster.
+
+Applications (``repro.apps``) ship as :class:`HelmChart` descriptors — a list
+of service specs plus default values.  ``helm install`` renders deployments,
+services and configmaps; ``helm upgrade`` re-renders with new values (which
+is how the *AuthenticationMissing* fault is mitigated, per the paper: "Fault 1
+needs to enforce its TLS requirements through a Helm configuration update").
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.simcore import InvalidAction, ResourceNotFound
+from repro.kubesim.cluster import Cluster
+from repro.kubesim.objects import (
+    ConfigMap,
+    Container,
+    ContainerPort,
+    Deployment,
+    ObjectMeta,
+    PodTemplate,
+    Service,
+    ServicePort,
+)
+
+
+@dataclass
+class ChartService:
+    """One microservice entry in a chart: a deployment plus its service."""
+
+    name: str
+    image: str
+    port: int
+    replicas: int = 1
+    env: dict[str, str] = field(default_factory=dict)
+    labels: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class HelmChart:
+    """A chart: named set of microservices plus default values."""
+
+    name: str
+    version: str = "0.1.0"
+    services: list[ChartService] = field(default_factory=list)
+    default_values: dict[str, Any] = field(default_factory=dict)
+    configmap_data: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class HelmRelease:
+    """A deployed chart instance."""
+
+    name: str
+    chart: HelmChart
+    namespace: str
+    values: dict[str, Any]
+    revision: int = 1
+
+
+def merge_values(base: dict[str, Any], override: Optional[dict[str, Any]]) -> dict[str, Any]:
+    """Deep-merge ``override`` onto ``base`` (helm's value semantics)."""
+    out = copy.deepcopy(base)
+    for k, v in (override or {}).items():
+        if isinstance(v, dict) and isinstance(out.get(k), dict):
+            out[k] = merge_values(out[k], v)
+        else:
+            out[k] = copy.deepcopy(v)
+    return out
+
+
+class Helm:
+    """Installs, upgrades, and uninstalls chart releases on a cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.releases: dict[str, HelmRelease] = {}
+
+    def install(
+        self,
+        release_name: str,
+        chart: HelmChart,
+        namespace: str,
+        values: Optional[dict[str, Any]] = None,
+    ) -> HelmRelease:
+        """Render the chart into ``namespace`` and track the release."""
+        if release_name in self.releases:
+            raise InvalidAction(f'release "{release_name}" already exists')
+        self.cluster.create_namespace(namespace)
+        merged = merge_values(chart.default_values, values)
+        release = HelmRelease(release_name, chart, namespace, merged)
+        self.releases[release_name] = release
+        self._render(release)
+        return release
+
+    def upgrade(
+        self, release_name: str, values: Optional[dict[str, Any]] = None
+    ) -> HelmRelease:
+        """Re-render a release with updated values (revision += 1)."""
+        release = self.releases.get(release_name)
+        if release is None:
+            raise ResourceNotFound("Release", release_name)
+        release.values = merge_values(release.values, values)
+        release.revision += 1
+        self._teardown_objects(release)
+        self._render(release)
+        return release
+
+    def uninstall(self, release_name: str) -> None:
+        release = self.releases.pop(release_name, None)
+        if release is None:
+            raise ResourceNotFound("Release", release_name)
+        self._teardown_objects(release)
+
+    def _teardown_objects(self, release: HelmRelease) -> None:
+        ns = release.namespace
+        for svc in release.chart.services:
+            self.cluster.deployments.pop((ns, svc.name), None)
+            self.cluster.services.pop((ns, svc.name), None)
+            self.cluster.endpoints.pop((ns, svc.name), None)
+        for key in [k for k in self.cluster.pods if k[0] == ns]:
+            del self.cluster.pods[key]
+        self.cluster.configmaps.pop((ns, f"{release.chart.name}-config"), None)
+        self.cluster.reconcile()
+
+    def _render(self, release: HelmRelease) -> None:
+        ns = release.namespace
+        chart = release.chart
+        for svc in chart.services:
+            labels = {"app": svc.name, **svc.labels}
+            dep = Deployment(
+                meta=ObjectMeta(name=svc.name, namespace=ns, labels=dict(labels)),
+                replicas=svc.replicas,
+                selector={"app": svc.name},
+                template=PodTemplate(
+                    labels=dict(labels),
+                    containers=[
+                        Container(
+                            name=svc.name,
+                            image=svc.image,
+                            ports=[ContainerPort(container_port=svc.port)],
+                            env=dict(svc.env),
+                        )
+                    ],
+                ),
+            )
+            self.cluster.create_deployment(dep)
+            self.cluster.create_service(
+                Service(
+                    meta=ObjectMeta(name=svc.name, namespace=ns, labels=dict(labels)),
+                    selector={"app": svc.name},
+                    ports=[ServicePort(port=svc.port, target_port=svc.port)],
+                )
+            )
+        if chart.configmap_data or release.values:
+            data = dict(chart.configmap_data)
+            for k, v in release.values.items():
+                if isinstance(v, (str, int, float, bool)):
+                    data[k] = str(v)
+            self.cluster.create_configmap(
+                ConfigMap(
+                    meta=ObjectMeta(name=f"{chart.name}-config", namespace=ns),
+                    data=data,
+                )
+            )
+        self.cluster.reconcile()

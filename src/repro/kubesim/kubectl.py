@@ -1,0 +1,674 @@
+"""A ``kubectl`` text facade over the simulated cluster.
+
+Language agents issue raw command strings (``kubectl get pods -n ns``); this
+module parses them and renders output formatted like the real CLI, including
+its error messages — the paper's ACI exposes exactly this surface through
+``exec_shell``.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from typing import Callable, Optional
+
+from repro.simcore import ResourceNotFound, InvalidAction
+from repro.kubesim.cluster import Cluster
+from repro.kubesim.objects import Deployment
+
+LogSource = Callable[[str, str, int], str]
+ExecHandler = Callable[[str, str, list[str]], str]
+MetricsSource = Callable[[str], list[tuple[str, float, float]]]
+
+
+def format_age(seconds: float) -> str:
+    """Render an age the way kubectl does (``42s``, ``5m``, ``2h``, ``3d``)."""
+    s = max(int(seconds), 0)
+    if s < 120:
+        return f"{s}s"
+    m = s // 60
+    if m < 120:
+        return f"{m}m"
+    h = m // 60
+    if h < 48:
+        return f"{h}h"
+    return f"{h // 24}d"
+
+
+def _tabulate(headers: list[str], rows: list[list[str]]) -> str:
+    """Left-aligned whitespace table in kubectl's style."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "   ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers)] + [fmt(r) for r in rows]
+    return "\n".join(lines)
+
+
+class Kubectl:
+    """Parses and executes kubectl command strings against a :class:`Cluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster to operate on.
+    log_source:
+        Optional callback ``(namespace, pod, tail) -> str`` supplying pod
+        logs (wired to the telemetry log store).
+    exec_handler:
+        Optional callback ``(namespace, pod, argv) -> str`` for
+        ``kubectl exec`` (wired to the service runtime, e.g. mongo shell).
+    metrics_source:
+        Optional callback ``(namespace) -> [(pod, cpu_mcores, mem_mib)]``
+        backing ``kubectl top pods``.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        log_source: Optional[LogSource] = None,
+        exec_handler: Optional[ExecHandler] = None,
+        metrics_source: Optional[MetricsSource] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.log_source = log_source
+        self.exec_handler = exec_handler
+        self.metrics_source = metrics_source
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def run(self, command: str) -> str:
+        """Execute one kubectl command string; returns CLI-style output.
+
+        Errors come back as ``Error from server`` / usage strings rather
+        than exceptions, because that is the feedback a shell gives.
+        """
+        try:
+            argv = shlex.split(command)
+        except ValueError as e:
+            return f"error: failed to parse command: {e}"
+        if not argv:
+            return "error: empty command"
+        if argv[0] == "kubectl":
+            argv = argv[1:]
+        if not argv:
+            return self._usage()
+        verb = argv[0]
+        handler = {
+            "get": self._cmd_get,
+            "describe": self._cmd_describe,
+            "logs": self._cmd_logs,
+            "delete": self._cmd_delete,
+            "scale": self._cmd_scale,
+            "patch": self._cmd_patch,
+            "set": self._cmd_set,
+            "rollout": self._cmd_rollout,
+            "exec": self._cmd_exec,
+            "top": self._cmd_top,
+            "apply": self._cmd_apply,
+            "edit": lambda a: "error: edit is interactive and not supported; use patch",
+        }.get(verb)
+        if handler is None:
+            return f'error: unknown command "{verb}"\n{self._usage()}'
+        try:
+            return handler(argv[1:])
+        except ResourceNotFound as e:
+            return f"Error from server (NotFound): {e}"
+        except InvalidAction as e:
+            return f"error: {e}"
+
+    def _usage(self) -> str:
+        return (
+            "kubectl controls the simulated Kubernetes cluster.\n"
+            "Supported: get, describe, logs, delete, scale, patch, set image, "
+            "rollout, exec, top"
+        )
+
+    # ------------------------------------------------------------------
+    # flag helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _extract_flag(args: list[str], *names: str, default: Optional[str] = None):
+        """Pop ``--flag value`` / ``--flag=value`` / ``-n value`` from args."""
+        value = default
+        out: list[str] = []
+        i = 0
+        while i < len(args):
+            a = args[i]
+            matched = False
+            for name in names:
+                if a == name:
+                    if i + 1 < len(args):
+                        value = args[i + 1]
+                        i += 2
+                        matched = True
+                    else:
+                        i += 1
+                        matched = True
+                    break
+                if a.startswith(name + "="):
+                    value = a.split("=", 1)[1]
+                    i += 1
+                    matched = True
+                    break
+            if not matched:
+                out.append(a)
+                i += 1
+        args[:] = out
+        return value
+
+    def _namespace(self, args: list[str]) -> str:
+        ns = self._extract_flag(args, "-n", "--namespace", default="default")
+        return ns or "default"
+
+    # ------------------------------------------------------------------
+    # get
+    # ------------------------------------------------------------------
+    def _cmd_get(self, args: list[str]) -> str:
+        args = list(args)
+        ns = self._namespace(args)
+        self._extract_flag(args, "-o", "--output")  # accepted, table only
+        all_ns = "--all-namespaces" in args or "-A" in args
+        args = [a for a in args if a not in ("--all-namespaces", "-A")]
+        if not args:
+            return "error: you must specify the type of resource to get"
+        kind = args[0].lower()
+        rest = args[1:]
+        if "/" in kind:
+            kind, name = kind.split("/", 1)
+            rest = [name] + rest
+        if kind in ("pod", "pods", "po"):
+            return self._get_pods(ns, rest, all_ns)
+        if kind in ("service", "services", "svc"):
+            return self._get_services(ns, rest)
+        if kind in ("deployment", "deployments", "deploy"):
+            return self._get_deployments(ns, rest)
+        if kind in ("endpoints", "ep"):
+            return self._get_endpoints(ns, rest)
+        if kind in ("event", "events"):
+            return self._get_events(ns)
+        if kind in ("node", "nodes"):
+            return self._get_nodes()
+        if kind in ("configmap", "configmaps", "cm"):
+            return self._get_configmaps(ns, rest)
+        if kind in ("namespace", "namespaces", "ns"):
+            return self._get_namespaces()
+        if kind in ("secret", "secrets"):
+            return self._get_secrets(ns, rest)
+        return f'error: the server doesn\'t have a resource type "{kind}"'
+
+    def _get_pods(self, ns: str, rest: list[str], all_ns: bool) -> str:
+        self.cluster.require_namespace(ns)
+        if rest:
+            pods = [self.cluster.get_pod(ns, rest[0])]
+        elif all_ns:
+            pods = [p for _, p in sorted(self.cluster.pods.items())]
+        else:
+            pods = self.cluster.pods_in(ns)
+        if not pods:
+            return f"No resources found in {ns} namespace."
+        now = self.cluster.clock.now
+        headers = ["NAME", "READY", "STATUS", "RESTARTS", "AGE"]
+        if all_ns:
+            headers = ["NAMESPACE"] + headers
+        rows = []
+        for p in pods:
+            row = [
+                p.name, p.ready_display(), p.status_display(),
+                str(p.restart_count), format_age(now - p.meta.creation_time),
+            ]
+            if all_ns:
+                row = [p.namespace] + row
+            rows.append(row)
+        return _tabulate(headers, rows)
+
+    def _get_services(self, ns: str, rest: list[str]) -> str:
+        self.cluster.require_namespace(ns)
+        svcs = [self.cluster.get_service(ns, rest[0])] if rest else self.cluster.services_in(ns)
+        if not svcs:
+            return f"No resources found in {ns} namespace."
+        now = self.cluster.clock.now
+        rows = []
+        for s in svcs:
+            ports = ",".join(f"{p.port}/TCP" for p in s.ports) or "<none>"
+            rows.append([
+                s.name, s.service_type, s.cluster_ip, "<none>", ports,
+                format_age(now - s.meta.creation_time),
+            ])
+        return _tabulate(
+            ["NAME", "TYPE", "CLUSTER-IP", "EXTERNAL-IP", "PORT(S)", "AGE"], rows
+        )
+
+    def _get_deployments(self, ns: str, rest: list[str]) -> str:
+        self.cluster.require_namespace(ns)
+        deps = [self.cluster.get_deployment(ns, rest[0])] if rest else self.cluster.deployments_in(ns)
+        if not deps:
+            return f"No resources found in {ns} namespace."
+        now = self.cluster.clock.now
+        rows = []
+        for d in deps:
+            pods = self.cluster.pods_for_deployment(d)
+            ready = sum(1 for p in pods if p.ready and not p.crash_looping)
+            rows.append([
+                d.name, f"{ready}/{d.replicas}", str(len(pods)), str(ready),
+                format_age(now - d.meta.creation_time),
+            ])
+        return _tabulate(["NAME", "READY", "UP-TO-DATE", "AVAILABLE", "AGE"], rows)
+
+    def _get_endpoints(self, ns: str, rest: list[str]) -> str:
+        self.cluster.require_namespace(ns)
+        if rest:
+            eps = [self.cluster.get_endpoints(ns, rest[0])]
+        else:
+            eps = [e for (n, _), e in sorted(self.cluster.endpoints.items()) if n == ns]
+        if not eps:
+            return f"No resources found in {ns} namespace."
+        now = self.cluster.clock.now
+        rows = []
+        for e in eps:
+            addrs = ",".join(f"{a.ip}:{a.port}" for a in e.addresses[:3])
+            if len(e.addresses) > 3:
+                addrs += f" + {len(e.addresses) - 3} more..."
+            rows.append([e.meta.name, addrs or "<none>",
+                         format_age(now - e.meta.creation_time)])
+        return _tabulate(["NAME", "ENDPOINTS", "AGE"], rows)
+
+    def _get_events(self, ns: str) -> str:
+        self.cluster.require_namespace(ns)
+        events = self.cluster.events_in(ns)
+        if not events:
+            return f"No resources found in {ns} namespace."
+        now = self.cluster.clock.now
+        rows = [
+            [
+                format_age(now - e.time), e.event_type, e.reason,
+                f"{e.kind.lower()}/{e.name}", e.message,
+            ]
+            for e in events[-40:]
+        ]
+        return _tabulate(["LAST SEEN", "TYPE", "REASON", "OBJECT", "MESSAGE"], rows)
+
+    def _get_nodes(self) -> str:
+        now = self.cluster.clock.now
+        rows = [
+            [n.name, "Ready" if n.ready else "NotReady", "<none>",
+             format_age(now - n.meta.creation_time), "v1.29.0-sim"]
+            for n in sorted(self.cluster.nodes.values(), key=lambda n: n.name)
+        ]
+        return _tabulate(["NAME", "STATUS", "ROLES", "AGE", "VERSION"], rows)
+
+    def _get_configmaps(self, ns: str, rest: list[str]) -> str:
+        self.cluster.require_namespace(ns)
+        if rest:
+            cms = [self.cluster.get_configmap(ns, rest[0])]
+        else:
+            cms = [c for (n, _), c in sorted(self.cluster.configmaps.items()) if n == ns]
+        if not cms:
+            return f"No resources found in {ns} namespace."
+        now = self.cluster.clock.now
+        rows = [
+            [c.name, str(len(c.data)), format_age(now - c.meta.creation_time)]
+            for c in cms
+        ]
+        return _tabulate(["NAME", "DATA", "AGE"], rows)
+
+    def _get_secrets(self, ns: str, rest: list[str] | None = None) -> str:
+        self.cluster.require_namespace(ns)
+        if rest:
+            # Named secret: render its data (clear text — this is a simulator).
+            s = self.cluster.get_secret(ns, rest[0])
+            lines = [f"Name:         {s.name}", f"Namespace:    {ns}",
+                     "Type:         Opaque", "", "Data", "===="]
+            lines += [f"{k}:  {v}" for k, v in sorted(s.data.items())]
+            return "\n".join(lines)
+        secrets = [s for (n, _), s in sorted(self.cluster.secrets.items()) if n == ns]
+        if not secrets:
+            return f"No resources found in {ns} namespace."
+        now = self.cluster.clock.now
+        rows = [
+            [s.name, "Opaque", str(len(s.data)), format_age(now - s.meta.creation_time)]
+            for s in secrets
+        ]
+        return _tabulate(["NAME", "TYPE", "DATA", "AGE"], rows)
+
+    def _get_namespaces(self) -> str:
+        rows = [[ns, "Active", "1h"] for ns in sorted(self.cluster.namespaces)]
+        return _tabulate(["NAME", "STATUS", "AGE"], rows)
+
+    # ------------------------------------------------------------------
+    # describe
+    # ------------------------------------------------------------------
+    def _cmd_describe(self, args: list[str]) -> str:
+        args = list(args)
+        ns = self._namespace(args)
+        if not args:
+            return "error: you must specify the type of resource to describe"
+        kind = args[0].lower()
+        rest = args[1:]
+        if "/" in kind:
+            kind, name = kind.split("/", 1)
+            rest = [name] + rest
+        if not rest:
+            return "error: you must specify a resource name"
+        name = rest[0]
+        if kind in ("pod", "pods", "po"):
+            return self._describe_pod(ns, name)
+        if kind in ("service", "services", "svc"):
+            return self._describe_service(ns, name)
+        if kind in ("deployment", "deployments", "deploy"):
+            return self._describe_deployment(ns, name)
+        return f'error: describe not supported for resource type "{kind}"'
+
+    def _describe_pod(self, ns: str, name: str) -> str:
+        pod = self.cluster.get_pod(ns, name)
+        lines = [
+            f"Name:             {pod.name}",
+            f"Namespace:        {pod.namespace}",
+            f"Node:             {pod.bound_node or '<none>'}",
+            f"Labels:           " + ",".join(f"{k}={v}" for k, v in sorted(pod.meta.labels.items())),
+            f"Status:           {pod.status_display()}",
+            f"Restart Count:    {pod.restart_count}",
+        ]
+        if pod.node_name:
+            lines.append(f"Requested Node:   {pod.node_name}")
+        lines.append("Containers:")
+        for c in pod.containers:
+            lines.append(f"  {c.name}:")
+            lines.append(f"    Image:  {c.image}")
+            ports = ", ".join(str(p.container_port) for p in c.ports) or "<none>"
+            lines.append(f"    Ports:  {ports}")
+        events = [
+            e for e in self.cluster.events_in(ns) if e.kind == "Pod" and e.name == name
+        ]
+        lines.append("Events:")
+        if events:
+            now = self.cluster.clock.now
+            for e in events[-8:]:
+                lines.append(
+                    f"  {e.event_type}  {e.reason}  {format_age(now - e.time)}  {e.message}"
+                )
+        else:
+            lines.append("  <none>")
+        return "\n".join(lines)
+
+    def _describe_service(self, ns: str, name: str) -> str:
+        svc = self.cluster.get_service(ns, name)
+        ep = self.cluster.endpoints.get((ns, name))
+        addrs = ",".join(f"{a.ip}:{a.port}" for a in ep.addresses) if ep and ep.addresses else "<none>"
+        lines = [
+            f"Name:              {svc.name}",
+            f"Namespace:         {svc.namespace}",
+            f"Selector:          " + ",".join(f"{k}={v}" for k, v in sorted(svc.selector.items())),
+            f"Type:              {svc.service_type}",
+            f"IP:                {svc.cluster_ip}",
+        ]
+        for p in svc.ports:
+            lines.append(f"Port:              {p.name or '<unset>'}  {p.port}/TCP")
+            lines.append(f"TargetPort:        {p.target_port}/TCP")
+        lines.append(f"Endpoints:         {addrs}")
+        return "\n".join(lines)
+
+    def _describe_deployment(self, ns: str, name: str) -> str:
+        dep = self.cluster.get_deployment(ns, name)
+        pods = self.cluster.pods_for_deployment(dep)
+        ready = sum(1 for p in pods if p.ready and not p.crash_looping)
+        lines = [
+            f"Name:                   {dep.name}",
+            f"Namespace:              {dep.namespace}",
+            f"Selector:               " + ",".join(f"{k}={v}" for k, v in sorted(dep.selector.items())),
+            f"Replicas:               {dep.replicas} desired | {len(pods)} total | {ready} available",
+            "Pod Template:",
+        ]
+        for c in dep.template.containers:
+            lines.append(f"  Container {c.name}: image={c.image}, "
+                         f"ports={[p.container_port for p in c.ports]}")
+        if dep.template.node_name:
+            lines.append(f"  NodeName: {dep.template.node_name}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # logs / exec / top
+    # ------------------------------------------------------------------
+    def _cmd_logs(self, args: list[str]) -> str:
+        args = list(args)
+        ns = self._namespace(args)
+        tail = self._extract_flag(args, "--tail", default="50")
+        args = [a for a in args if not a.startswith("-")]
+        if not args:
+            return "error: expected 'logs POD_NAME'"
+        name = args[0]
+        pod = self.cluster.get_pod(ns, name)  # raises NotFound appropriately
+        if self.log_source is None:
+            return ""
+        try:
+            n = int(tail)
+        except (TypeError, ValueError):
+            n = 50
+        return self.log_source(ns, pod.name, n)
+
+    def _cmd_exec(self, args: list[str]) -> str:
+        args = list(args)
+        ns = self._namespace(args)
+        self._extract_flag(args, "-c", "--container")
+        args = [a for a in args if a not in ("-it", "-i", "-t", "--stdin", "--tty")]
+        if "--" in args:
+            sep = args.index("--")
+            target, argv = args[:sep], args[sep + 1:]
+        else:
+            target, argv = args[:1], args[1:]
+        if not target:
+            return "error: expected 'exec POD_NAME -- COMMAND'"
+        pod = self.cluster.get_pod(ns, target[0])
+        if not argv:
+            return "error: you must specify at least one command for the container"
+        if self.exec_handler is None:
+            return f"error: exec not available in pod {pod.name}"
+        return self.exec_handler(ns, pod.name, argv)
+
+    def _cmd_top(self, args: list[str]) -> str:
+        args = list(args)
+        ns = self._namespace(args)
+        if not args or args[0] not in ("pod", "pods", "po"):
+            return "error: top supports 'top pods'"
+        if self.metrics_source is None:
+            return "error: Metrics API not available"
+        rows = [
+            [pod, f"{int(cpu)}m", f"{int(mem)}Mi"]
+            for pod, cpu, mem in self.metrics_source(ns)
+        ]
+        if not rows:
+            return f"No resources found in {ns} namespace."
+        return _tabulate(["NAME", "CPU(cores)", "MEMORY(bytes)"], rows)
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def _cmd_delete(self, args: list[str]) -> str:
+        args = list(args)
+        ns = self._namespace(args)
+        self._extract_flag(args, "--grace-period")
+        args = [a for a in args if a != "--force"]
+        if not args:
+            return "error: you must specify the type of resource to delete"
+        kind = args[0].lower()
+        rest = args[1:]
+        if "/" in kind:
+            kind, name = kind.split("/", 1)
+            rest = [name] + rest
+        if not rest:
+            return "error: you must specify a resource name"
+        name = rest[0]
+        if kind in ("pod", "pods", "po"):
+            self.cluster.delete_pod(ns, name)
+            return f'pod "{name}" deleted'
+        if kind in ("deployment", "deployments", "deploy"):
+            self.cluster.delete_deployment(ns, name)
+            return f'deployment.apps "{name}" deleted'
+        if kind in ("service", "services", "svc"):
+            self.cluster.delete_service(ns, name)
+            return f'service "{name}" deleted'
+        return f'error: delete not supported for resource type "{kind}"'
+
+    def _cmd_scale(self, args: list[str]) -> str:
+        args = list(args)
+        ns = self._namespace(args)
+        replicas = self._extract_flag(args, "--replicas")
+        if replicas is None:
+            return "error: --replicas is required"
+        if not args:
+            return "error: expected 'scale deployment NAME --replicas=N'"
+        kind = args[0].lower()
+        rest = args[1:]
+        if "/" in kind:
+            kind, name = kind.split("/", 1)
+        elif rest:
+            name = rest[0]
+        else:
+            return "error: you must specify a resource name"
+        if kind not in ("deployment", "deployments", "deploy"):
+            return f'error: scale not supported for resource type "{kind}"'
+        try:
+            n = int(replicas)
+        except ValueError:
+            return f'error: invalid replicas value "{replicas}"'
+        self.cluster.scale_deployment(ns, name, n)
+        return f"deployment.apps/{name} scaled"
+
+    def _cmd_patch(self, args: list[str]) -> str:
+        args = list(args)
+        ns = self._namespace(args)
+        patch_str = self._extract_flag(args, "-p", "--patch")
+        self._extract_flag(args, "--type")
+        if patch_str is None:
+            return "error: must specify -p to patch"
+        if not args:
+            return "error: you must specify the type of resource to patch"
+        kind = args[0].lower()
+        rest = args[1:]
+        if "/" in kind:
+            kind, name = kind.split("/", 1)
+        elif rest:
+            name = rest[0]
+        else:
+            return "error: you must specify a resource name"
+        try:
+            patch = json.loads(patch_str)
+        except json.JSONDecodeError as e:
+            return f"error: unable to parse patch: {e}"
+        if kind in ("service", "services", "svc"):
+            return self._patch_service(ns, name, patch)
+        if kind in ("deployment", "deployments", "deploy"):
+            return self._patch_deployment(ns, name, patch)
+        return f'error: patch not supported for resource type "{kind}"'
+
+    def _patch_service(self, ns: str, name: str, patch: dict) -> str:
+        svc = self.cluster.get_service(ns, name)
+        spec = patch.get("spec", {})
+        ports = spec.get("ports")
+        if ports:
+            for entry in ports:
+                port = entry.get("port")
+                tp = entry.get("targetPort")
+                for sp in svc.ports:
+                    if port is None or sp.port == port:
+                        if tp is not None:
+                            sp.target_port = int(tp)
+        selector = spec.get("selector")
+        if selector is not None:
+            svc.selector = dict(selector)
+        self.cluster.reconcile()
+        return f"service/{name} patched"
+
+    def _patch_deployment(self, ns: str, name: str, patch: dict) -> str:
+        dep = self.cluster.get_deployment(ns, name)
+        spec = patch.get("spec", {})
+        if "replicas" in spec:
+            self.cluster.scale_deployment(ns, name, int(spec["replicas"]))
+        tmpl = spec.get("template", {}).get("spec", {})
+        if "nodeName" in tmpl:
+            dep.template.node_name = tmpl["nodeName"] or None
+            self._restamp_pods(dep)
+        for c_patch in tmpl.get("containers", []):
+            for c in dep.template.containers:
+                if c.name == c_patch.get("name") and "image" in c_patch:
+                    c.image = c_patch["image"]
+            self._restamp_pods(dep)
+        self.cluster.reconcile()
+        return f"deployment.apps/{name} patched"
+
+    def _restamp_pods(self, dep: Deployment) -> None:
+        """Delete a deployment's pods so the controller recreates them from
+        the (just-updated) template — a simplified rolling update."""
+        for pod in self.cluster.pods_for_deployment(dep):
+            del self.cluster.pods[(pod.namespace, pod.name)]
+        dep.generation += 1
+        self.cluster.reconcile()
+
+    def _cmd_set(self, args: list[str]) -> str:
+        args = list(args)
+        ns = self._namespace(args)
+        if not args or args[0] != "image":
+            return "error: set supports 'set image'"
+        rest = args[1:]
+        if not rest:
+            return "error: expected 'set image deployment/NAME CONTAINER=IMAGE'"
+        target = rest[0]
+        if "/" not in target:
+            return "error: expected resource in KIND/NAME form"
+        kind, name = target.split("/", 1)
+        if kind.lower() not in ("deployment", "deployments", "deploy"):
+            return f'error: set image not supported for "{kind}"'
+        dep = self.cluster.get_deployment(ns, name)
+        changed = False
+        for assignment in rest[1:]:
+            if "=" not in assignment:
+                return f'error: invalid image assignment "{assignment}"'
+            cname, image = assignment.split("=", 1)
+            for c in dep.template.containers:
+                if c.name == cname or cname == "*":
+                    c.image = image
+                    changed = True
+        if not changed:
+            return "error: no matching container found"
+        self._restamp_pods(dep)
+        return f"deployment.apps/{name} image updated"
+
+    def _cmd_rollout(self, args: list[str]) -> str:
+        args = list(args)
+        ns = self._namespace(args)
+        if not args:
+            return "error: expected 'rollout restart|status deployment/NAME'"
+        sub = args[0]
+        rest = args[1:]
+        if not rest:
+            return "error: you must specify a resource"
+        target = rest[0]
+        if "/" in target:
+            kind, name = target.split("/", 1)
+        elif len(rest) >= 2:
+            kind, name = rest[0], rest[1]
+        else:
+            return "error: you must specify a resource name"
+        if kind.lower() not in ("deployment", "deployments", "deploy"):
+            return f'error: rollout not supported for "{kind}"'
+        dep = self.cluster.get_deployment(ns, name)
+        if sub == "restart":
+            self._restamp_pods(dep)
+            return f"deployment.apps/{name} restarted"
+        if sub == "status":
+            pods = self.cluster.pods_for_deployment(dep)
+            ready = sum(1 for p in pods if p.ready and not p.crash_looping)
+            if ready >= dep.replicas:
+                return f'deployment "{name}" successfully rolled out'
+            return (f"Waiting for deployment \"{name}\" rollout to finish: "
+                    f"{ready} of {dep.replicas} updated replicas are available...")
+        return f'error: unknown rollout subcommand "{sub}"'
+
+    def _cmd_apply(self, args: list[str]) -> str:
+        return (
+            "error: apply -f requires a manifest file; this environment "
+            "supports imperative commands (scale, patch, set image, delete)"
+        )

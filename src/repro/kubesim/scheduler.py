@@ -1,0 +1,90 @@
+"""Pod scheduler: binds pending pods to nodes (or leaves them Pending)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kubesim.objects import Pod, PodPhase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kubesim.cluster import Cluster
+
+
+class Scheduler:
+    """Binds pods to nodes, reproducing the failure modes agents must read.
+
+    * ``spec.nodeName`` pointing at a node that does not exist leaves the
+      pod **Pending** with a ``FailedScheduling`` warning event — the
+      signature of the *AssignNonExistentNode* fault.
+    * A ``nodeSelector`` no node satisfies also leaves the pod Pending.
+    * Otherwise the pod binds to the least-loaded ready node and runs.
+    """
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+
+    def _node_load(self) -> dict[str, int]:
+        load: dict[str, int] = {name: 0 for name in self.cluster.nodes}
+        for pod in self.cluster.pods.values():
+            if pod.bound_node in load:
+                load[pod.bound_node] += 1
+        return load
+
+    def _pick_node(self, pod: Pod) -> str | None:
+        candidates = [
+            n for n in self.cluster.nodes.values()
+            if n.ready and all(n.labels.get(k) == v for k, v in pod.node_selector.items())
+        ]
+        if not candidates:
+            return None
+        load = self._node_load()
+        candidates.sort(key=lambda n: (load[n.name], n.name))
+        return candidates[0].name
+
+    def reconcile(self) -> bool:
+        changed = False
+        for pod in list(self.cluster.pods.values()):
+            if pod.phase is not PodPhase.PENDING or pod.bound_node:
+                continue
+            if pod.node_name is not None:
+                if pod.node_name in self.cluster.nodes:
+                    target = pod.node_name
+                else:
+                    if pod.status_reason != "FailedScheduling":
+                        pod.status_reason = "FailedScheduling"
+                        self.cluster.record_event(
+                            pod.namespace, "Pod", pod.name, "FailedScheduling",
+                            f'0/{len(self.cluster.nodes)} nodes are available: '
+                            f'node "{pod.node_name}" not found.',
+                            event_type="Warning",
+                        )
+                        changed = True
+                    continue
+            else:
+                target = self._pick_node(pod)
+                if target is None:
+                    if pod.status_reason != "FailedScheduling":
+                        pod.status_reason = "FailedScheduling"
+                        self.cluster.record_event(
+                            pod.namespace, "Pod", pod.name, "FailedScheduling",
+                            f"0/{len(self.cluster.nodes)} nodes are available: "
+                            f"node selector mismatch.",
+                            event_type="Warning",
+                        )
+                        changed = True
+                    continue
+
+            pod.bound_node = target
+            pod.phase = PodPhase.RUNNING
+            pod.ready = True
+            pod.status_reason = ""
+            self.cluster.record_event(
+                pod.namespace, "Pod", pod.name, "Scheduled",
+                f"Successfully assigned {pod.namespace}/{pod.name} to {target}",
+            )
+            self.cluster.record_event(
+                pod.namespace, "Pod", pod.name, "Started",
+                f"Started container {pod.containers[0].name if pod.containers else pod.name}",
+            )
+            changed = True
+        return changed

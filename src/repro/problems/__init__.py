@@ -1,0 +1,19 @@
+"""The AIOpsLab benchmark problem pool (§3.3): 48 problems + 2 Noop probes."""
+
+from repro.problems.pool import (
+    PROBLEM_FACTORIES,
+    benchmark_pids,
+    noop_pids,
+    get_problem,
+    list_problems,
+    pool_summary,
+)
+
+__all__ = [
+    "PROBLEM_FACTORIES",
+    "benchmark_pids",
+    "noop_pids",
+    "get_problem",
+    "list_problems",
+    "pool_summary",
+]

@@ -1,0 +1,113 @@
+"""Constructs the benchmark problem pool from the fault library.
+
+Composition (reconciling Table 2 with the 48-problem count, see DESIGN.md):
+
+* 7 functional faults × their injection targets = 11 problem families,
+  each instantiated at all 4 task levels → 44 problems;
+* NetworkLoss and PodFailure at levels 1–2 → 4 problems;
+* total benchmark = **48**; plus 2 Noop detection probes (§3.6.4),
+  evaluated separately for false positives.
+
+Problem ids follow the paper's shape, e.g.
+``misconfig_k8s_social_net-localization-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.problem import (
+    AnalysisTask,
+    DetectionTask,
+    LocalizationTask,
+    MitigationTask,
+    Problem,
+)
+from repro.faults.library import FAULT_LIBRARY, FaultSpec
+
+_TASK_CLASSES: dict[str, type[Problem]] = {
+    "detection": DetectionTask,
+    "localization": LocalizationTask,
+    "analysis": AnalysisTask,
+    "mitigation": MitigationTask,
+}
+
+_LEVEL_TO_TASK = {1: "detection", 2: "localization", 3: "analysis", 4: "mitigation"}
+
+_APP_SHORT = {"HotelReservation": "hotel_res", "SocialNetwork": "social_net"}
+
+
+def _make_factory(task: str, spec: FaultSpec, target: Optional[str],
+                  app_name: str, pid: str) -> Callable[[], Problem]:
+    cls = _TASK_CLASSES[task]
+
+    def factory() -> Problem:
+        return cls(spec.number if spec.injector != "none" else "Noop",
+                   target=target, app_name=app_name, pid=pid)
+
+    factory.__name__ = f"make_{pid.replace('-', '_')}"
+    return factory
+
+
+def _build() -> tuple[dict[str, Callable[[], Problem]], list[str], list[str]]:
+    factories: dict[str, Callable[[], Problem]] = {}
+    benchmark: list[str] = []
+    noop: list[str] = []
+    for spec in FAULT_LIBRARY:
+        apps = (["HotelReservation", "SocialNetwork"]
+                if spec.application == "both" else [spec.application])
+        for app_name in apps:
+            targets = spec.targets.get(app_name, ()) or (None,)
+            for level in spec.task_levels:
+                task = _LEVEL_TO_TASK[level]
+                for i, target in enumerate(targets, start=1):
+                    pid = (f"{spec.fault_key or 'noop'}_{_APP_SHORT[app_name]}"
+                           f"-{task}-{i}")
+                    factories[pid] = _make_factory(task, spec, target,
+                                                   app_name, pid)
+                    if spec.injector == "none":
+                        noop.append(pid)
+                    else:
+                        benchmark.append(pid)
+    return factories, benchmark, noop
+
+
+PROBLEM_FACTORIES, _BENCHMARK_PIDS, _NOOP_PIDS = _build()
+
+
+def benchmark_pids() -> list[str]:
+    """The 48 benchmark problem ids (stable order: Table-2 order)."""
+    return list(_BENCHMARK_PIDS)
+
+
+def noop_pids() -> list[str]:
+    """The two Noop false-positive probes (§3.6.4)."""
+    return list(_NOOP_PIDS)
+
+
+def get_problem(pid: str) -> Problem:
+    """Instantiate a fresh problem for ``pid`` (problems are single-use)."""
+    try:
+        return PROBLEM_FACTORIES[pid]()
+    except KeyError:
+        raise KeyError(
+            f"unknown problem id {pid!r}; see list_problems()") from None
+
+
+def list_problems(task_type: Optional[str] = None,
+                  include_noop: bool = False) -> list[str]:
+    """Problem ids, optionally filtered by task type."""
+    pids = benchmark_pids() + (noop_pids() if include_noop else [])
+    if task_type is None:
+        return pids
+    return [p for p in pids if f"-{task_type}-" in p]
+
+
+def pool_summary() -> dict[str, int]:
+    """Problem counts per task type (the Table-2/§3.3 accounting)."""
+    out: dict[str, int] = {}
+    for task in _TASK_CLASSES:
+        out[task] = len(list_problems(task))
+    out["total"] = len(benchmark_pids())
+    out["noop"] = len(noop_pids())
+    return out

@@ -1,0 +1,37 @@
+"""Microservice runtime: call-graph request execution over the kubesim cluster.
+
+An application is a set of microservices plus a call graph per operation
+(e.g. ``compose_post`` fans out from the nginx frontend through a dozen
+services).  Executing a request walks that graph:
+
+1. the caller resolves the callee's Kubernetes service — empty endpoints
+   mean **connection refused**;
+2. chaos rules (network loss, pod failure) may drop the hop;
+3. the callee's application handler runs — database proxies check
+   authentication/authorization against their simulated backend stores,
+   buggy images fail with code-level errors;
+4. failures propagate upward, writing error logs at the observing service
+   and error spans on the trace — the same observable chain a real
+   incident produces.
+"""
+
+from repro.services.errors import (
+    RpcError,
+    RpcErrorKind,
+)
+from repro.services.backends import MongoBackend, RedisBackend, MemcachedBackend
+from repro.services.model import Microservice, CallEdge, Operation
+from repro.services.runtime import ServiceRuntime, RequestResult
+
+__all__ = [
+    "RpcError",
+    "RpcErrorKind",
+    "MongoBackend",
+    "RedisBackend",
+    "MemcachedBackend",
+    "Microservice",
+    "CallEdge",
+    "Operation",
+    "ServiceRuntime",
+    "RequestResult",
+]

@@ -1,0 +1,291 @@
+"""Request execution over the call graph — where faults become observable."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.simcore import RngStream, SimClock
+from repro.kubesim.cluster import Cluster
+from repro.services import errors as err
+from repro.services.backends import MemcachedBackend, MongoBackend, RedisBackend
+from repro.services.errors import RpcError, RpcErrorKind
+from repro.services.model import CallEdge, Microservice, Operation
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.traces import Span, Trace
+
+#: ``(caller, callee) -> (user, password) | None``; None means the caller has
+#: no credentials configured for that backend (AuthenticationMissing).
+CredentialsProvider = Callable[[str, str], Optional[tuple[str, str]]]
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one end-to-end request."""
+
+    operation: str
+    ok: bool
+    latency_ms: float
+    error: Optional[RpcError] = None
+    trace_id: str = ""
+    #: services that logged an error while handling this request
+    error_services: list[str] = field(default_factory=list)
+
+
+class ServiceRuntime:
+    """Executes operations against the deployed application.
+
+    Parameters
+    ----------
+    cluster:
+        The kubesim cluster the app is deployed on (reachability checks).
+    namespace:
+        Namespace the app lives in.
+    services:
+        ``name -> Microservice`` for every service in the app.
+    operations:
+        ``name -> Operation`` call trees.
+    collector:
+        Telemetry sink (logs, traces, request metrics).
+    credentials_provider:
+        Resolves the credentials a caller uses against a backend; reading
+        them lazily means helm upgrades take effect immediately.
+    seed:
+        RNG seed for latency sampling and drop decisions.
+    """
+
+    #: probability a healthy hop emits an INFO log line (keeps volume sane)
+    INFO_SAMPLE = 0.03
+    #: probability of a benign transient WARN anywhere (background noise)
+    NOISE_WARN = 0.01
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        namespace: str,
+        services: dict[str, Microservice],
+        operations: dict[str, Operation],
+        collector: TelemetryCollector,
+        credentials_provider: Optional[CredentialsProvider] = None,
+        seed: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.namespace = namespace
+        self.services = services
+        self.operations = operations
+        self.collector = collector
+        self.credentials_provider = credentials_provider or (lambda c, b: ("admin", "admin"))
+        self.rng = RngStream(seed, f"runtime/{namespace}")
+        #: chaos state: callee service -> packet drop probability
+        self.network_loss: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> SimClock:
+        return self.cluster.clock
+
+    def _image_of(self, svc: Microservice) -> str:
+        """The image the service currently runs — read from the live
+        deployment template so ``kubectl set image`` mitigations count."""
+        try:
+            dep = self.cluster.get_deployment(self.namespace, svc.name)
+        except Exception:
+            return svc.image
+        return dep.template.containers[0].image if dep.template.containers else svc.image
+
+    def _pod_for(self, service: str) -> str:
+        pods = [
+            p for p in self.cluster.pods_in(self.namespace)
+            if p.owner == service and p.ready and not p.crash_looping
+        ]
+        return pods[0].name if pods else f"{service}-<none>"
+
+    def _log(self, service: str, level: str, message: str) -> None:
+        self.collector.emit_log(
+            self.namespace, service, self._pod_for(service), level, message
+        )
+
+    def _latency(self, svc: Microservice) -> float:
+        import math
+        mean_log = math.log(max(svc.base_latency_ms, 0.1))
+        return self.rng.lognormal(mean_log, svc.latency_sigma)
+
+    # ------------------------------------------------------------------
+    # hop checks
+    # ------------------------------------------------------------------
+    def _check_network(self, caller: str, callee: str) -> Optional[RpcError]:
+        p = self.network_loss.get(callee, 0.0)
+        if p > 0 and self.rng.bernoulli(p):
+            return err.network_drop(callee)
+        return None
+
+    def _check_reachable(self, callee: Microservice) -> Optional[RpcError]:
+        try:
+            self.cluster.get_service(self.namespace, callee.name)
+        except Exception:
+            return err.unavailable(callee.name, f'service "{callee.name}" not found')
+        if not self.cluster.service_reachable(self.namespace, callee.name):
+            return err.connection_refused(callee.name, callee.port)
+        return None
+
+    def _check_handler(
+        self, caller: Microservice, callee: Microservice, command: str
+    ) -> Optional[RpcError]:
+        """Application-level behaviour of the callee."""
+        image = self._image_of(callee)
+        if "buggy" in image:
+            return err.app_bug(callee.name, image)
+        backend = callee.backend
+        if isinstance(backend, MongoBackend):
+            if not backend.up:
+                return err.unavailable(callee.name, "mongod is shutting down")
+            creds = self.credentials_provider(caller.name, callee.name)
+            user, pw = creds if creds else (None, None)
+            reason = backend.authenticate(user, pw)
+            if reason in ("no_credentials", "bad_password"):
+                return err.auth_failed(callee.name, backend.db_name)
+            if reason == "user_not_found":
+                return err.user_not_found(callee.name, backend.db_name, user or "<none>")
+            reason = backend.authorize(user, command)
+            if reason == "not_authorized":
+                return err.not_authorized(callee.name, backend.db_name, command)
+            if reason == "user_not_found":
+                return err.user_not_found(callee.name, backend.db_name, user or "<none>")
+        elif isinstance(backend, (RedisBackend, MemcachedBackend)):
+            if not backend.up:
+                return err.unavailable(callee.name, f"{callee.kind} instance down")
+        return None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, op_name: str) -> RequestResult:
+        """Run one request for ``op_name`` through the call graph."""
+        op = self.operations.get(op_name)
+        if op is None:
+            raise KeyError(f"unknown operation {op_name!r}")
+        entry = self.services[op.entry]
+        trace = Trace(trace_id=self.collector.traces.new_trace_id())
+        error_services: list[str] = []
+
+        root_error = self._check_reachable(entry)
+        start = self.clock.now
+        if root_error is not None:
+            # The client (workload generator) observes the frontend down.
+            span = Span(
+                span_id=self.collector.traces.new_span_id(),
+                trace_id=trace.trace_id, parent_id=None,
+                service="wrk-client", operation=op.name,
+                start=start, duration_ms=1.0,
+                status="ERROR", error_message=root_error.message,
+            )
+            trace.spans.append(span)
+            self.collector.record_trace(trace)
+            self.collector.record_request(entry.name, 1.0, error=True)
+            return RequestResult(op.name, False, 1.0, root_error,
+                                 trace.trace_id, [entry.name])
+
+        latency, error = self._run_service(
+            caller=None, svc=entry, command="handle", children=op.tree,
+            op=op, trace=trace, parent_span=None, error_services=error_services,
+        )
+        self.collector.record_trace(trace)
+        ok = error is None
+        if not ok and entry.name not in error_services:
+            error_services.append(entry.name)
+        return RequestResult(op.name, ok, latency, error, trace.trace_id,
+                             error_services)
+
+    def _run_service(
+        self,
+        caller: Optional[Microservice],
+        svc: Microservice,
+        command: str,
+        children: list[CallEdge],
+        op: Operation,
+        trace: Trace,
+        parent_span: Optional[Span],
+        error_services: list[str],
+    ) -> tuple[float, Optional[RpcError]]:
+        """Execute ``svc``'s part of the operation; returns (latency, error)."""
+        span = Span(
+            span_id=self.collector.traces.new_span_id(),
+            trace_id=trace.trace_id,
+            parent_id=parent_span.span_id if parent_span else None,
+            service=svc.name, operation=f"{op.name}/{command}",
+            start=self.clock.now, duration_ms=0.0,
+        )
+        trace.spans.append(span)
+        own_latency = self._latency(svc)
+        total = own_latency
+        failure: Optional[RpcError] = None
+
+        # own handler (for the entry this is trivially OK unless buggy image)
+        handler_err = None
+        if caller is not None:
+            handler_err = self._check_handler(caller, svc, command)
+        elif "buggy" in self._image_of(svc):
+            handler_err = err.app_bug(svc.name, self._image_of(svc))
+        if handler_err is not None:
+            failure = handler_err
+            if handler_err.kind is RpcErrorKind.APP_BUG:
+                self._log(svc.name, "ERROR", handler_err.message)
+                error_services.append(svc.name)
+            elif handler_err.kind in (
+                RpcErrorKind.AUTH_FAILED,
+                RpcErrorKind.NOT_AUTHORIZED,
+                RpcErrorKind.USER_NOT_FOUND,
+            ):
+                # mongod itself also records the access failure
+                self._log(svc.name, "WARN",
+                          f"ACCESS [conn42] {handler_err.message}")
+                error_services.append(svc.name)
+        else:
+            # fan out to children
+            for edge in children:
+                callee = self.services.get(edge.callee)
+                if callee is None:
+                    continue
+                hop_err = self._check_network(svc.name, edge.callee)
+                if hop_err is None:
+                    hop_err = self._check_reachable(callee)
+                if hop_err is not None:
+                    child_span = Span(
+                        span_id=self.collector.traces.new_span_id(),
+                        trace_id=trace.trace_id, parent_id=span.span_id,
+                        service=callee.name, operation=f"{op.name}/{edge.command}",
+                        start=self.clock.now, duration_ms=0.5,
+                        status="ERROR", error_message=hop_err.message,
+                    )
+                    trace.spans.append(child_span)
+                    self.collector.record_request(callee.name, 0.5, error=True)
+                    failure = hop_err
+                else:
+                    child_latency, child_err = self._run_service(
+                        caller=svc, svc=callee, command=edge.command,
+                        children=edge.children, op=op, trace=trace,
+                        parent_span=span, error_services=error_services,
+                    )
+                    total += child_latency
+                    failure = child_err
+                if failure is not None:
+                    self._log(
+                        svc.name, "ERROR",
+                        f"failed to call {edge.callee}.{edge.command}: {failure.message}",
+                    )
+                    error_services.append(svc.name)
+                    break
+
+        if failure is None and self.rng.bernoulli(self.NOISE_WARN):
+            self._log(svc.name, "WARN",
+                      f"slow {command} request: retrying idempotent call once")
+        if failure is None and self.rng.bernoulli(self.INFO_SAMPLE):
+            self._log(svc.name, "INFO",
+                      f"{op.name}/{command} handled in {total:.1f}ms")
+
+        span.duration_ms = total
+        if failure is not None:
+            span.status = "ERROR"
+            span.error_message = failure.message
+        self.collector.record_request(svc.name, total, error=failure is not None)
+        return total, failure

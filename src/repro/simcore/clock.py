@@ -1,0 +1,53 @@
+"""Virtual clock for the simulated cloud environment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing virtual clock.
+
+    Time is measured in seconds since the start of the simulation.  The
+    clock only moves when :meth:`advance` (relative) or :meth:`advance_to`
+    (absolute) is called, so components never race each other.
+
+    Parameters
+    ----------
+    start:
+        Initial timestamp in seconds.  Defaults to 0.
+    """
+
+    start: float = 0.0
+    _now: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._now = float(self.start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` seconds and return the new time.
+
+        Raises
+        ------
+        ValueError
+            If ``dt`` is negative — virtual time never flows backwards.
+        """
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt!r}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock to absolute time ``t`` (must be >= now)."""
+        if t < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, requested {t}"
+            )
+        self._now = float(t)
+        return self._now

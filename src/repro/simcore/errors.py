@@ -1,0 +1,26 @@
+"""Shared exception taxonomy for the simulated environment."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for every error raised by the simulated cloud."""
+
+
+class ResourceNotFound(SimError):
+    """A named resource (pod, service, namespace, ...) does not exist."""
+
+    def __init__(self, kind: str, name: str, namespace: str | None = None):
+        self.kind = kind
+        self.name = name
+        self.namespace = namespace
+        where = f' in namespace "{namespace}"' if namespace else ""
+        super().__init__(f'{kind} "{name}" not found{where}')
+
+
+class InvalidAction(SimError):
+    """A syntactically or semantically invalid operation was attempted."""
+
+
+class PolicyViolation(SimError):
+    """An action was blocked by the ACI security policy."""

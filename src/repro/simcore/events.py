@@ -1,0 +1,104 @@
+"""A small discrete-event queue used by workload generation and controllers."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.simcore.clock import SimClock
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event scheduled at a virtual timestamp.
+
+    Ordered by ``(time, seq)`` so that events at identical timestamps fire
+    in insertion order (deterministic replay).
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`ScheduledEvent` driven by a shared :class:`SimClock`.
+
+    Example
+    -------
+    >>> clock = SimClock()
+    >>> q = EventQueue(clock)
+    >>> fired = []
+    >>> _ = q.schedule_at(5.0, lambda: fired.append("a"))
+    >>> q.run_until(10.0)
+    1
+    >>> fired
+    ['a']
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule_at(
+        self, time: float, action: Callable[[], Any], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: now={self.clock.now}, t={time}"
+            )
+        ev = ScheduledEvent(time=time, seq=next(self._seq), action=action, label=label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_in(
+        self, delay: float, action: Callable[[], Any], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        return self.schedule_at(self.clock.now + delay, action, label=label)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> Optional[ScheduledEvent]:
+        """Pop and fire the next live event, advancing the clock to it."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.clock.advance_to(ev.time)
+            ev.action()
+            return ev
+        return None
+
+    def run_until(self, t: float) -> int:
+        """Fire every event scheduled at or before ``t``; returns count fired.
+
+        The clock ends at exactly ``t`` even if the last event fired earlier.
+        """
+        fired = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > t:
+                break
+            self.step()
+            fired += 1
+        if self.clock.now < t:
+            self.clock.advance_to(t)
+        return fired

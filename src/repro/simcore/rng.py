@@ -1,0 +1,77 @@
+"""Deterministic, named random streams.
+
+Each subsystem derives its own stream from a root seed and a label, so adding
+randomness to one component never perturbs another (a classic simulation
+reproducibility pitfall).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a stable 63-bit child seed from ``(root_seed, label)``."""
+    digest = hashlib.sha256(f"{root_seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") & (2**63 - 1)
+
+
+class RngStream:
+    """A labelled wrapper over :class:`numpy.random.Generator`.
+
+    Provides the handful of distributions the simulators need, plus
+    convenience helpers with validation.
+    """
+
+    def __init__(self, root_seed: int, label: str) -> None:
+        self.label = label
+        self.seed = derive_seed(root_seed, label)
+        self._gen = np.random.default_rng(self.seed)
+
+    def child(self, label: str) -> "RngStream":
+        """Derive a sub-stream; children of the same parent are independent."""
+        return RngStream(self.seed, f"{self.label}/{label}")
+
+    # -- distributions -------------------------------------------------
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return float(self._gen.uniform(low, high))
+
+    def random(self) -> float:
+        return float(self._gen.random())
+
+    def lognormal(self, mean: float, sigma: float) -> float:
+        """Sample a lognormal; used for per-hop RPC latency."""
+        return float(self._gen.lognormal(mean, sigma))
+
+    def exponential(self, scale: float) -> float:
+        if scale <= 0:
+            raise ValueError(f"exponential scale must be > 0, got {scale}")
+        return float(self._gen.exponential(scale))
+
+    def normal(self, loc: float, scale: float) -> float:
+        return float(self._gen.normal(loc, scale))
+
+    def integers(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high)``."""
+        return int(self._gen.integers(low, high))
+
+    def choice(self, seq, p=None):
+        """Pick one element of ``seq`` (optionally weighted by ``p``)."""
+        if len(seq) == 0:
+            raise ValueError("cannot choose from an empty sequence")
+        idx = self._gen.choice(len(seq), p=p)
+        return seq[int(idx)]
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"bernoulli p must be in [0,1], got {p}")
+        return bool(self._gen.random() < p)
+
+    def shuffle(self, seq: list) -> list:
+        """Return a new shuffled copy of ``seq``."""
+        out = list(seq)
+        self._gen.shuffle(out)
+        return out

@@ -1,0 +1,84 @@
+"""On-disk telemetry export (§2.5: offline data for traditional AIOps).
+
+The ACI returns *paths* from ``get_logs``/``get_metrics``/``get_traces``
+(like the paper's Example 2.2, which saves traces and returns the
+directory); this module writes those files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.telemetry.collector import TelemetryCollector
+
+
+class TelemetryExporter:
+    """Writes the collector's stores to a directory tree.
+
+    Layout::
+
+        <root>/logs/<service>.log       rendered log lines
+        <root>/logs/all.jsonl           structured records
+        <root>/metrics/<metric>.csv     time,service,value rows
+        <root>/traces/traces.json       Jaeger-style JSON
+    """
+
+    def __init__(self, collector: TelemetryCollector, root: str | Path) -> None:
+        self.collector = collector
+        self.root = Path(root)
+
+    def export_logs(self, namespace: str,
+                    since: Optional[float] = None) -> Path:
+        out_dir = self.root / "logs"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        records = self.collector.logs.query(namespace=namespace, since=since)
+        by_service: dict[str, list] = {}
+        for r in records:
+            by_service.setdefault(r.service, []).append(r)
+        for service, recs in by_service.items():
+            (out_dir / f"{service}.log").write_text(
+                "\n".join(r.render() for r in recs) + "\n"
+            )
+        with (out_dir / "all.jsonl").open("w") as f:
+            for r in records:
+                f.write(json.dumps({
+                    "time": r.time, "namespace": r.namespace, "service": r.service,
+                    "pod": r.pod, "level": r.level, "message": r.message,
+                }) + "\n")
+        return out_dir
+
+    def export_metrics(self, since: Optional[float] = None) -> Path:
+        out_dir = self.root / "metrics"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        store = self.collector.metrics
+        for metric in store.STANDARD_METRICS:
+            rows = []
+            for svc in store.services():
+                series = store.series(svc, metric)
+                if series is None:
+                    continue
+                t, v = series.window(since=since)
+                rows.extend((float(ti), svc, float(vi)) for ti, vi in zip(t, v))
+            rows.sort()
+            with (out_dir / f"{metric}.csv").open("w", newline="") as f:
+                writer = csv.writer(f)
+                writer.writerow(["time", "service", "value"])
+                writer.writerows(rows)
+        return out_dir
+
+    def export_traces(self, since: Optional[float] = None) -> Path:
+        out_dir = self.root / "traces"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        traces = self.collector.traces.query(since=since)
+        payload = {"data": [t.to_dict() for t in traces]}
+        (out_dir / "traces.json").write_text(json.dumps(payload, indent=1))
+        return out_dir
+
+    def export_all(self, namespace: str, since: Optional[float] = None) -> Path:
+        self.export_logs(namespace, since)
+        self.export_metrics(since)
+        self.export_traces(since)
+        return self.root

@@ -1,0 +1,98 @@
+"""Structured application logs (the Filebeat/Logstash pipeline equivalent)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class LogRecord:
+    """One structured log line from a pod."""
+
+    time: float
+    namespace: str
+    service: str
+    pod: str
+    level: str       # INFO / WARN / ERROR
+    message: str
+
+    def render(self) -> str:
+        """Render the line the way ``kubectl logs`` would show it."""
+        mins = int(self.time // 60)
+        secs = self.time - mins * 60
+        ts = f"2026-06-12T10:{mins % 60:02d}:{secs:06.3f}Z"
+        return f"{ts} {self.level:<5} [{self.service}] {self.message}"
+
+
+class LogStore:
+    """Append-only log store with per-service and per-pod retrieval."""
+
+    def __init__(self, capacity: int = 200_000) -> None:
+        self.capacity = capacity
+        self._records: list[LogRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, record: LogRecord) -> None:
+        self._records.append(record)
+        if len(self._records) > self.capacity:
+            # Drop the oldest 10% in one slice to amortize the cost.
+            del self._records[: self.capacity // 10]
+
+    def emit(
+        self, time: float, namespace: str, service: str, pod: str,
+        level: str, message: str,
+    ) -> LogRecord:
+        rec = LogRecord(time, namespace, service, pod, level, message)
+        self.append(rec)
+        return rec
+
+    # -- queries ---------------------------------------------------------
+    def query(
+        self,
+        namespace: Optional[str] = None,
+        service: Optional[str] = None,
+        pod: Optional[str] = None,
+        level: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> list[LogRecord]:
+        """Filter records; all criteria are ANDed, None means no filter."""
+        out = []
+        for r in self._records:
+            if namespace is not None and r.namespace != namespace:
+                continue
+            if service is not None and r.service != service:
+                continue
+            if pod is not None and r.pod != pod:
+                continue
+            if level is not None and r.level != level:
+                continue
+            if since is not None and r.time < since:
+                continue
+            if until is not None and r.time > until:
+                continue
+            out.append(r)
+        return out
+
+    def tail(self, namespace: str, pod: str, n: int = 50) -> str:
+        """Last ``n`` rendered lines for one pod (the ``kubectl logs`` view)."""
+        records = self.query(namespace=namespace, pod=pod)
+        return "\n".join(r.render() for r in records[-n:])
+
+    def tail_service(self, namespace: str, service: str, n: int = 50) -> str:
+        records = self.query(namespace=namespace, service=service)
+        return "\n".join(r.render() for r in records[-n:])
+
+    def error_counts(self, namespace: str,
+                     since: Optional[float] = None) -> dict[str, int]:
+        """ERROR-line count per service — the coarse signal detectors use."""
+        counts: dict[str, int] = {}
+        for r in self.query(namespace=namespace, level="ERROR", since=since):
+            counts[r.service] = counts.get(r.service, 0) + 1
+        return counts
+
+    def services_seen(self, namespace: str) -> set[str]:
+        return {r.service for r in self._records if r.namespace == namespace}

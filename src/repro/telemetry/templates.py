@@ -1,0 +1,113 @@
+"""Log template mining — a Drain-style fixed-depth clusterer.
+
+Log-based AIOps methods (RMLAD's anomaly detector, production pipelines
+behind Logstash) work on *templates* ("failed to call <*> : <*>") rather
+than raw lines.  This is a compact reimplementation of the core Drain idea:
+group lines by token count and leading tokens, then merge lines whose
+token-wise similarity exceeds a threshold, replacing divergent positions
+with ``<*>``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+_NUMERIC_RE = re.compile(r"^\d[\d.:%]*$")
+WILDCARD = "<*>"
+
+
+def tokenize(line: str) -> list[str]:
+    """Whitespace tokens with bare numbers pre-masked (Drain's heuristic)."""
+    return [WILDCARD if _NUMERIC_RE.match(t) else t for t in line.split()]
+
+
+def similarity(a: list[str], b: list[str]) -> float:
+    """Fraction of positions with equal tokens (same-length sequences)."""
+    if len(a) != len(b) or not a:
+        return 0.0
+    return sum(x == y for x, y in zip(a, b)) / len(a)
+
+
+@dataclass
+class LogTemplate:
+    """One mined template and its support count."""
+
+    template_id: int
+    tokens: list[str]
+    count: int = 0
+
+    def render(self) -> str:
+        return " ".join(self.tokens)
+
+    def merge(self, tokens: list[str]) -> None:
+        """Absorb a line: divergent positions become wildcards."""
+        self.tokens = [
+            t if t == o else WILDCARD for t, o in zip(self.tokens, tokens)
+        ]
+        self.count += 1
+
+
+class TemplateMiner:
+    """Fixed-depth template clusterer.
+
+    Parameters
+    ----------
+    similarity_threshold:
+        Minimum token-similarity for a line to join an existing template.
+    prefix_depth:
+        Number of leading tokens used as the grouping key (Drain's tree
+        depth, flattened to a dict key here).
+    """
+
+    def __init__(self, similarity_threshold: float = 0.6,
+                 prefix_depth: int = 2) -> None:
+        if not 0.0 < similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in (0, 1]")
+        self.similarity_threshold = similarity_threshold
+        self.prefix_depth = prefix_depth
+        self._groups: dict[tuple, list[LogTemplate]] = {}
+        self._next_id = 1
+        self.templates: dict[int, LogTemplate] = {}
+
+    def _key(self, tokens: list[str]) -> tuple:
+        prefix = tuple(tokens[: self.prefix_depth])
+        return (len(tokens), prefix)
+
+    def add(self, line: str) -> Optional[LogTemplate]:
+        """Cluster one line; returns the (possibly new) template.
+
+        Blank lines are ignored (returns None).
+        """
+        tokens = tokenize(line)
+        if not tokens:
+            return None
+        key = self._key(tokens)
+        group = self._groups.setdefault(key, [])
+        best: Optional[LogTemplate] = None
+        best_sim = 0.0
+        for tmpl in group:
+            sim = similarity(tmpl.tokens, tokens)
+            if sim > best_sim:
+                best, best_sim = tmpl, sim
+        if best is not None and best_sim >= self.similarity_threshold:
+            best.merge(tokens)
+            return best
+        tmpl = LogTemplate(self._next_id, list(tokens), count=1)
+        self._next_id += 1
+        group.append(tmpl)
+        self.templates[tmpl.template_id] = tmpl
+        return tmpl
+
+    def fit(self, lines: Iterable[str]) -> "TemplateMiner":
+        for line in lines:
+            self.add(line)
+        return self
+
+    def counts(self) -> dict[str, int]:
+        """Rendered template → support count."""
+        return {t.render(): t.count for t in self.templates.values()}
+
+    def top(self, k: int = 10) -> list[tuple[str, int]]:
+        return sorted(self.counts().items(), key=lambda kv: -kv[1])[:k]

@@ -1,0 +1,131 @@
+"""Jaeger-style distributed traces."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Span:
+    """One timed unit of work in a trace."""
+
+    span_id: str
+    trace_id: str
+    parent_id: Optional[str]
+    service: str
+    operation: str
+    start: float
+    duration_ms: float
+    status: str = "OK"          # OK | ERROR
+    error_message: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "spanID": self.span_id,
+            "traceID": self.trace_id,
+            "parentSpanID": self.parent_id,
+            "serviceName": self.service,
+            "operationName": self.operation,
+            "startTime": self.start,
+            "durationMs": self.duration_ms,
+            "status": self.status,
+            "error": self.error_message,
+        }
+
+
+@dataclass
+class Trace:
+    """A full request trace (a tree of spans)."""
+
+    trace_id: str
+    spans: list[Span] = field(default_factory=list)
+
+    @property
+    def root(self) -> Optional[Span]:
+        for s in self.spans:
+            if s.parent_id is None:
+                return s
+        return self.spans[0] if self.spans else None
+
+    @property
+    def has_error(self) -> bool:
+        return any(s.status == "ERROR" for s in self.spans)
+
+    def error_services(self) -> list[str]:
+        """Services with error spans, deepest (most likely root cause) first."""
+        depth: dict[str, int] = {}
+        by_id = {s.span_id: s for s in self.spans}
+
+        def depth_of(s: Span) -> int:
+            d = 0
+            cur = s
+            while cur.parent_id and cur.parent_id in by_id:
+                cur = by_id[cur.parent_id]
+                d += 1
+            return d
+
+        for s in self.spans:
+            if s.status == "ERROR":
+                depth[s.service] = max(depth.get(s.service, -1), depth_of(s))
+        return [svc for svc, _ in sorted(depth.items(), key=lambda kv: -kv[1])]
+
+    def to_dict(self) -> dict:
+        return {"traceID": self.trace_id, "spans": [s.to_dict() for s in self.spans]}
+
+
+class TraceStore:
+    """Holds traces with time-window retrieval (the Jaeger query API)."""
+
+    def __init__(self, capacity: int = 50_000) -> None:
+        self.capacity = capacity
+        self._traces: list[Trace] = []
+        self._id_counter = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def new_trace_id(self) -> str:
+        return f"trace-{next(self._id_counter):08x}"
+
+    def new_span_id(self) -> str:
+        return f"span-{next(self._id_counter):08x}"
+
+    def add(self, trace: Trace) -> None:
+        self._traces.append(trace)
+        if len(self._traces) > self.capacity:
+            del self._traces[: self.capacity // 10]
+
+    def query(
+        self, since: Optional[float] = None, until: Optional[float] = None,
+        only_errors: bool = False,
+    ) -> list[Trace]:
+        out = []
+        for tr in self._traces:
+            root = tr.root
+            if root is None:
+                continue
+            if since is not None and root.start < since:
+                continue
+            if until is not None and root.start > until:
+                continue
+            if only_errors and not tr.has_error:
+                continue
+            out.append(tr)
+        return out
+
+    def error_rate_by_service(
+        self, since: Optional[float] = None
+    ) -> dict[str, float]:
+        """Fraction of spans per service that errored in the window."""
+        total: dict[str, int] = {}
+        errors: dict[str, int] = {}
+        for tr in self.query(since=since):
+            for s in tr.spans:
+                total[s.service] = total.get(s.service, 0) + 1
+                if s.status == "ERROR":
+                    errors[s.service] = errors.get(s.service, 0) + 1
+        return {
+            svc: errors.get(svc, 0) / n for svc, n in total.items() if n > 0
+        }

@@ -1,0 +1,29 @@
+"""Workload generation (the wrk2 equivalent).
+
+:class:`Wrk` reproduces the paper's API (``Wrk(rate=100, duration=10)``)
+on top of :class:`WorkloadDriver`, which advances virtual time, issues
+requests per a :class:`RatePolicy`, and scrapes telemetry on a fixed
+interval.
+"""
+
+from repro.workload.policies import (
+    RatePolicy,
+    ConstantRate,
+    DiurnalRate,
+    BurstRate,
+    SpikeRate,
+    ReplayTrace,
+)
+from repro.workload.driver import WorkloadDriver
+from repro.workload.wrk import Wrk
+
+__all__ = [
+    "RatePolicy",
+    "ConstantRate",
+    "DiurnalRate",
+    "BurstRate",
+    "SpikeRate",
+    "ReplayTrace",
+    "WorkloadDriver",
+    "Wrk",
+]

@@ -1,0 +1,100 @@
+"""Synthetic industry workload traces (§2.2.3: "replays industry workloads").
+
+Real cluster traces are proprietary; these builders synthesize traces with
+the statistical features the AIOps literature reports for production
+request streams — diurnal cycles, weekday/weekend asymmetry, random bursts
+and long-tailed spikes — as ``(time, rate)`` step functions consumable by
+:class:`~repro.workload.policies.ReplayTrace`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simcore import RngStream
+from repro.workload.policies import ReplayTrace
+
+
+def ecommerce_day(
+    base: float = 80.0,
+    peak_factor: float = 2.5,
+    burst_rate: float = 0.05,
+    step_seconds: float = 300.0,
+    seed: int = 0,
+) -> ReplayTrace:
+    """One synthetic day of e-commerce traffic.
+
+    A diurnal sinusoid (nightly trough, evening peak) with multiplicative
+    noise and occasional flash-sale bursts.
+
+    Parameters
+    ----------
+    base:
+        Mean request rate (req/s).
+    peak_factor:
+        Evening peak over the nightly trough.
+    burst_rate:
+        Per-step probability of a 3–6× flash burst.
+    step_seconds:
+        Trace resolution.
+    """
+    rng = RngStream(seed, "industry/ecommerce")
+    points: list[tuple[float, float]] = []
+    day = 86_400.0
+    steps = int(day / step_seconds)
+    amplitude = (peak_factor - 1.0) / (peak_factor + 1.0)
+    for i in range(steps):
+        t = i * step_seconds
+        # trough at 04:00, peak at 20:00 (phase-shifted sinusoid)
+        phase = 2 * math.pi * (t / day - 20 / 24.0)
+        rate = base * (1.0 + amplitude * math.cos(phase))
+        rate *= max(1.0 + rng.normal(0.0, 0.08), 0.1)
+        if rng.bernoulli(burst_rate):
+            rate *= rng.uniform(3.0, 6.0)
+        points.append((t, max(rate, 0.0)))
+    return ReplayTrace(points=points)
+
+
+def batch_processing_window(
+    base: float = 20.0,
+    batch_rate: float = 300.0,
+    window_start: float = 3_600.0,
+    window_length: float = 1_800.0,
+    step_seconds: float = 60.0,
+    total: float = 7_200.0,
+    seed: int = 0,
+) -> ReplayTrace:
+    """Quiet interactive traffic with one heavy nightly batch window."""
+    rng = RngStream(seed, "industry/batch")
+    points: list[tuple[float, float]] = []
+    t = 0.0
+    while t < total:
+        in_window = window_start <= t < window_start + window_length
+        rate = batch_rate if in_window else base
+        rate *= max(1.0 + rng.normal(0.0, 0.05), 0.1)
+        points.append((t, rate))
+        t += step_seconds
+    return ReplayTrace(points=points)
+
+
+def incident_ramp(
+    base: float = 60.0,
+    ramp_start: float = 120.0,
+    ramp_factor: float = 5.0,
+    ramp_seconds: float = 180.0,
+    total: float = 600.0,
+    step_seconds: float = 15.0,
+) -> ReplayTrace:
+    """A retry-storm shape: load ramps up after an incident begins (clients
+    retrying), the classic confounder for detection tasks."""
+    points: list[tuple[float, float]] = []
+    t = 0.0
+    while t < total:
+        if t < ramp_start:
+            rate = base
+        else:
+            progress = min((t - ramp_start) / ramp_seconds, 1.0)
+            rate = base * (1.0 + (ramp_factor - 1.0) * progress)
+        points.append((t, rate))
+        t += step_seconds
+    return ReplayTrace(points=points)

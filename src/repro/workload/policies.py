@@ -1,0 +1,91 @@
+"""Request-rate policies: constant, diurnal, bursty, spiky, replayed."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+
+class RatePolicy(Protocol):
+    """Maps virtual time to an offered request rate (req/s)."""
+
+    def rate(self, t: float) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class ConstantRate:
+    """A fixed offered load."""
+
+    rps: float = 100.0
+
+    def rate(self, t: float) -> float:
+        if self.rps < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rps}")
+        return self.rps
+
+
+@dataclass
+class DiurnalRate:
+    """Sinusoidal day/night pattern around a base rate.
+
+    ``rate(t) = base * (1 + amplitude * sin(2π t / period))``, clamped at 0.
+    """
+
+    base: float = 100.0
+    amplitude: float = 0.5
+    period: float = 86_400.0
+
+    def rate(self, t: float) -> float:
+        r = self.base * (1.0 + self.amplitude * math.sin(2 * math.pi * t / self.period))
+        return max(r, 0.0)
+
+
+@dataclass
+class BurstRate:
+    """Base load with recurring bursts (e.g. marketing pushes).
+
+    Every ``interval`` seconds the rate multiplies by ``burst_factor`` for
+    ``burst_duration`` seconds.
+    """
+
+    base: float = 100.0
+    burst_factor: float = 4.0
+    interval: float = 300.0
+    burst_duration: float = 30.0
+
+    def rate(self, t: float) -> float:
+        phase = t % self.interval
+        return self.base * (self.burst_factor if phase < self.burst_duration else 1.0)
+
+
+@dataclass
+class SpikeRate:
+    """A single one-off spike at ``at`` lasting ``duration`` seconds."""
+
+    base: float = 100.0
+    spike_factor: float = 10.0
+    at: float = 60.0
+    duration: float = 10.0
+
+    def rate(self, t: float) -> float:
+        if self.at <= t < self.at + self.duration:
+            return self.base * self.spike_factor
+        return self.base
+
+
+@dataclass
+class ReplayTrace:
+    """Replays an industry trace: a step function over (time, rate) points."""
+
+    points: Sequence[tuple[float, float]] = field(default_factory=tuple)
+
+    def rate(self, t: float) -> float:
+        current = 0.0
+        for ts, r in self.points:
+            if ts <= t:
+                current = r
+            else:
+                break
+        return current

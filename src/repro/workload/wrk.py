@@ -1,0 +1,38 @@
+"""The paper-facing ``Wrk`` wrapper (Example 2.1's workload API)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workload.driver import WorkloadDriver, WorkloadStats
+from repro.workload.policies import ConstantRate, RatePolicy
+
+
+class Wrk:
+    """wrk2-compatible facade: ``Wrk(rate=100, duration=10).start_workload(url)``.
+
+    The URL argument is accepted for interface parity with the paper's
+    examples; routing is resolved from the app the driver was built for.
+    """
+
+    def __init__(self, rate: float = 100.0, duration: float = 10.0,
+                 policy: Optional[RatePolicy] = None) -> None:
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        self.rate = rate
+        self.duration = duration
+        self.policy = policy or ConstantRate(rate)
+        self._driver: Optional[WorkloadDriver] = None
+
+    def bind(self, driver: WorkloadDriver) -> "Wrk":
+        """Attach the driver built for the target application."""
+        driver.policy = self.policy
+        self._driver = driver
+        return self
+
+    def start_workload(self, url: str = "") -> WorkloadStats:
+        """Generate ``duration`` seconds of load (blocking in virtual time)."""
+        if self._driver is None:
+            raise RuntimeError("Wrk is not bound to an application driver; "
+                               "call bind(driver) first")
+        return self._driver.run_for(self.duration)

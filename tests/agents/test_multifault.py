@@ -1,0 +1,125 @@
+"""The fix → verify → re-diagnose loop (multi-fault mitigation, §2.4.3)."""
+
+from repro.agents.policy import DiagnosticPolicy
+from repro.simcore import RngStream
+
+
+def make_policy():
+    p = DiagnosticPolicy("mitigation", RngStream(0, "t"))
+    p.ingest_context(
+        'namespace "ns". Services: frontend, geo, mongodb-geo, '
+        "recommendation, mongodb-recommendation.")
+    # the investigation always starts from a log sweep; simulate it so the
+    # drill-down observations below are in context
+    p.ingest_observation("Saved logs to /x. ERROR lines per service:\n"
+                         "  frontend: 40 ERROR lines\n"
+                         "  geo: 40 ERROR lines")
+    return p
+
+
+AUTH_ERR = ("ERROR [geo] failed to call mongodb-geo.find: (Unauthorized) "
+            "not authorized on geo-db to execute command { find }")
+CONN_ERR = ('ERROR [frontend] failed to call recommendation.rec: dial tcp: '
+            'connect: connection refused (service "recommendation" port 8085 '
+            "has no ready endpoints)")
+PODS = ("NAME                                READY   STATUS    RESTARTS   AGE\n"
+        "mongodb-geo-abcde12345-fghij        1/1     Running   0          2m\n"
+        "geo-abcde12345-aaaaa                1/1     Running   0          2m")
+CLEAN_METRICS = ("Saved metrics. Latest snapshot:\n"
+                 "  frontend: cpu=80m req_rate=40.0/s err_rate=0.00/s\n"
+                 "  geo: cpu=60m req_rate=20.0/s err_rate=0.00/s")
+DIRTY_METRICS = ("Saved metrics. Latest snapshot:\n"
+                 "  frontend: cpu=80m req_rate=40.0/s err_rate=9.00/s\n"
+                 "  geo: cpu=60m req_rate=20.0/s err_rate=0.00/s")
+
+
+class TestFixVerifyLoop:
+    def test_single_fault_fix_then_verify_then_submit(self):
+        p = make_policy()
+        p.ingest_observation(AUTH_ERR)
+        p.ingest_observation(PODS)
+        fix = p.next_action()
+        assert "grantRolesToUser" in fix
+        assert p.next_action() == 'get_metrics("ns", 1)'
+        p.ingest_observation(CLEAN_METRICS)
+        assert p.next_action() == "submit()"
+
+    def test_dirty_metrics_trigger_reinvestigation(self):
+        p = make_policy()
+        p.ingest_observation(AUTH_ERR)
+        p.ingest_observation(PODS)
+        p.next_action()                         # fix
+        p.next_action()                         # get_metrics (stale flush)
+        # errors persist past the scrape-lag re-polls → pull logs
+        for _ in range(2):
+            p.ingest_observation(DIRTY_METRICS)
+            action = p.next_action()
+            assert action == 'get_metrics("ns", 1)'
+        p.ingest_observation(DIRTY_METRICS)
+        action = p.next_action()
+        assert action == 'get_logs("ns", "frontend")'
+
+    def test_second_fault_discovered_and_fixed(self):
+        p = make_policy()
+        p.ingest_observation(AUTH_ERR)
+        p.ingest_observation(PODS)
+        p.next_action()                         # fix #1 (mongo grant)
+        p.next_action()                         # verify metrics
+        for _ in range(2):
+            p.ingest_observation(DIRTY_METRICS)
+            p.next_action()
+        p.ingest_observation(DIRTY_METRICS)
+        p.next_action()                         # get_logs frontend
+        p.ingest_observation(CONN_ERR)          # reveals fault #2
+        # connectivity hypothesis → k8s state disambiguation
+        action = p.next_action()
+        assert "kubectl get deployments" in action
+        p.ingest_observation(
+            "NAME             READY   UP-TO-DATE   AVAILABLE   AGE\n"
+            "recommendation   0/0     0            0           3m")
+        fix2 = p.next_action()
+        assert "kubectl scale deployment recommendation --replicas=1" in fix2
+        # verify again, then done
+        assert p.next_action() == 'get_metrics("ns", 1)'
+        p.ingest_observation(CLEAN_METRICS)
+        assert p.next_action() == "submit()"
+
+    def test_fixed_target_never_rediagnosed(self):
+        p = make_policy()
+        p.ingest_observation(AUTH_ERR)
+        p.ingest_observation(PODS)
+        p.next_action()                         # fix mongodb-geo
+        assert "mongodb-geo" in p.belief.fixed_targets
+        # stale log tail shows the same old signature again
+        p.ingest_observation(AUTH_ERR)
+        assert p.belief.diagnosis is None or \
+            p.belief.diagnosis.target != "mongodb-geo"
+
+    def test_verification_gives_up_bounded(self):
+        p = make_policy()
+        p.ingest_observation(AUTH_ERR)
+        p.ingest_observation(PODS)
+        p.next_action()                         # fix
+        actions = []
+        for _ in range(12):
+            p.ingest_observation(DIRTY_METRICS)
+            action = p.next_action()
+            actions.append(action)
+            if action == "submit()":
+                break
+        assert actions[-1] == "submit()", "verification must terminate"
+
+    def test_missing_secret_dead_end_handled(self):
+        p = make_policy()
+        p.ingest_observation(
+            "ERROR [x] failed to call mongodb-geo.find: (UserNotFound) "
+            'Could not find user "admin" for db "geo-db"')
+        action = p.next_action()
+        assert "get secret mongodb-geo-credentials" in action
+        p.ingest_observation(
+            'Error: Error from server (NotFound): Secret '
+            '"mongodb-geo-credentials" not found')
+        # must not loop on the missing secret forever
+        actions = {p.next_action() for _ in range(6)}
+        assert not any("get secret mongodb-geo-credentials" in a
+                       for a in actions)

@@ -1,0 +1,43 @@
+"""Shared fixtures: deployed environments and common builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import HotelReservation, SocialNetwork
+from repro.kubesim import Cluster
+from repro.simcore import SimClock
+from repro.telemetry import TelemetryCollector
+from repro.workload import ConstantRate, WorkloadDriver
+
+
+class DeployedApp:
+    """A deployed app bundle used across tests."""
+
+    def __init__(self, app_cls, seed: int = 7, rate: float = 40.0):
+        self.clock = SimClock()
+        self.cluster = Cluster(clock=self.clock, seed=seed)
+        self.collector = TelemetryCollector(self.clock, seed=seed)
+        self.app = app_cls()
+        self.runtime = self.app.deploy(self.cluster, self.collector, seed=seed)
+        self.driver = WorkloadDriver(
+            self.runtime, self.app.workload_mix(), ConstantRate(rate), seed=seed
+        )
+
+
+@pytest.fixture
+def hotel() -> DeployedApp:
+    """A freshly deployed HotelReservation with a bound workload driver."""
+    return DeployedApp(HotelReservation)
+
+
+@pytest.fixture
+def social() -> DeployedApp:
+    """A freshly deployed SocialNetwork with a bound workload driver."""
+    return DeployedApp(SocialNetwork)
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """An empty cluster on a fresh clock."""
+    return Cluster(clock=SimClock(), seed=3)

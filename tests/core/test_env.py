@@ -1,0 +1,70 @@
+import pytest
+
+from repro.apps import HotelReservation, SocialNetwork
+from repro.core import CloudEnvironment
+
+
+class TestCloudEnvironment:
+    def test_builds_all_subsystems(self):
+        env = CloudEnvironment(HotelReservation, seed=1)
+        assert env.cluster is not None
+        assert env.runtime is not None
+        assert env.kubectl is not None
+        assert env.exporter is not None
+
+    def test_namespace_from_app(self):
+        env = CloudEnvironment(SocialNetwork, seed=1)
+        assert env.namespace == "test-social-network"
+
+    def test_advance_runs_workload(self):
+        env = CloudEnvironment(HotelReservation, seed=1, workload_rate=30)
+        env.advance(10)
+        assert env.driver.stats.requests == 300
+        assert env.clock.now == pytest.approx(10.0)
+
+    def test_probe_error_rate_healthy(self):
+        env = CloudEnvironment(HotelReservation, seed=1, workload_rate=30)
+        env.advance(5)
+        assert env.probe_error_rate(5) == 0.0
+
+    def test_probe_error_rate_under_fault(self):
+        env = CloudEnvironment(HotelReservation, seed=1, workload_rate=30)
+        env.app.backends["mongodb-geo"].revoke_roles("admin")
+        assert env.probe_error_rate(10) > 0.1
+
+    def test_kubectl_wired_to_logs(self):
+        env = CloudEnvironment(HotelReservation, seed=1, workload_rate=30)
+        env.app.backends["mongodb-geo"].revoke_roles("admin")
+        env.advance(10)
+        pod = next(p.name for p in env.cluster.pods_in(env.namespace)
+                   if p.owner == "geo")
+        out = env.kubectl.run(f"kubectl logs {pod} -n {env.namespace}")
+        assert "not authorized" in out
+
+    def test_kubectl_top_wired_to_metrics(self):
+        env = CloudEnvironment(HotelReservation, seed=1, workload_rate=30)
+        env.advance(10)
+        out = env.kubectl.run(f"kubectl top pods -n {env.namespace}")
+        assert "CPU" in out and "Mi" in out
+
+    def test_exec_wired_to_app(self):
+        env = CloudEnvironment(HotelReservation, seed=1)
+        pod = next(p.name for p in env.cluster.pods_in(env.namespace)
+                   if p.owner == "mongodb-geo")
+        out = env.kubectl.run(
+            f"kubectl exec {pod} -n {env.namespace} -- mongo --eval "
+            f'"db.getUsers()"')
+        assert "admin" in out
+
+    def test_custom_export_root(self, tmp_path):
+        env = CloudEnvironment(HotelReservation, seed=1,
+                               export_root=tmp_path / "telemetry")
+        assert str(env.exporter.root).endswith("telemetry")
+
+    def test_seeds_reproduce_environments(self):
+        a = CloudEnvironment(HotelReservation, seed=9, workload_rate=30)
+        b = CloudEnvironment(HotelReservation, seed=9, workload_rate=30)
+        a.advance(10)
+        b.advance(10)
+        assert a.driver.stats.errors == b.driver.stats.errors
+        assert a.driver.stats.per_operation == b.driver.stats.per_operation

@@ -1,0 +1,127 @@
+import pytest
+
+from repro.core.problem import (
+    AnalysisTask, DetectionTask, LocalizationTask, MitigationTask,
+)
+
+
+class TestProblemConstruction:
+    def test_fault_resolves_default_target(self):
+        p = DetectionTask("RevokeAuth")
+        assert p.target == "mongodb-geo"
+        assert p.app_name == "HotelReservation"
+
+    def test_by_number(self):
+        p = LocalizationTask(2, target="text-service")
+        assert p.spec.name == "TargetPortMisconfig"
+        assert p.ans == "text-service"
+
+    def test_noop_problem(self):
+        p = DetectionTask("Noop", app_name="HotelReservation")
+        assert p.spec is None
+        assert p.ans == "no"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionTask("Noop", app_name="NotAnApp")
+
+    def test_pid_shape(self):
+        p = MitigationTask(3)
+        assert "revoke_auth_hotel_res-mitigation" in p.pid
+
+
+class TestDetectionEval:
+    def test_exact_yes(self):
+        p = DetectionTask("RevokeAuth")
+        res = p.eval("yes", None, 12.0)
+        assert res["success"] and res["TTD"] == 12.0
+
+    def test_case_and_quotes_normalized(self):
+        p = DetectionTask("RevokeAuth")
+        assert p.eval('"Yes"', None, 1.0)["success"]
+
+    def test_wrong_answer(self):
+        p = DetectionTask("RevokeAuth")
+        assert not p.eval("no", None, 1.0)["success"]
+
+    def test_noop_expects_no(self):
+        p = DetectionTask("Noop", app_name="SocialNetwork")
+        assert p.eval("no", None, 1.0)["success"]
+        assert not p.eval("yes", None, 1.0)["success"]
+
+
+class TestLocalizationEval:
+    def test_top1_hit(self):
+        p = LocalizationTask(2, target="user-service")
+        res = p.eval(["user-service", "x"], None, 5.0)
+        assert res["success@1"] and res["success@3"] and res["success"]
+
+    def test_top3_only(self):
+        p = LocalizationTask(2, target="user-service")
+        res = p.eval(["x", "y", "user-service"], None, 5.0)
+        assert not res["success@1"] and res["success@3"]
+        assert not res["success"]  # headline accuracy is @1
+
+    def test_beyond_top3_misses(self):
+        p = LocalizationTask(2, target="user-service")
+        res = p.eval(["a", "b", "c", "user-service"], None, 5.0)
+        assert not res["success@3"]
+
+    def test_string_answer_accepted(self):
+        p = LocalizationTask(2, target="user-service")
+        assert p.eval("user-service", None, 5.0)["success@1"]
+
+    def test_empty_answer(self):
+        p = LocalizationTask(2, target="user-service")
+        res = p.eval([], None, 5.0)
+        assert not res["success@1"] and not res["success@3"]
+
+
+class TestAnalysisEval:
+    def test_both_subtasks_correct(self):
+        p = AnalysisTask(3)  # revoke auth: application / operation_error
+        res = p.eval({"system_level": "application",
+                      "fault_type": "operation_error"}, None, 5.0)
+        assert res["success"] and res["subtasks_correct"] == 2
+
+    def test_one_subtask_correct(self):
+        p = AnalysisTask(3)
+        res = p.eval({"system_level": "application",
+                      "fault_type": "misconfiguration"}, None, 5.0)
+        assert not res["success"] and res["subtasks_correct"] == 1
+
+    def test_non_dict_answer(self):
+        p = AnalysisTask(3)
+        res = p.eval("application", None, 5.0)
+        assert res["subtasks_correct"] == 0
+
+    def test_ground_truth_from_spec(self):
+        p = AnalysisTask(2, target="user-service")  # target-port misconfig
+        res = p.eval({"system_level": "virtualization",
+                      "fault_type": "misconfiguration"}, None, 5.0)
+        assert res["success"]
+
+
+class TestMitigationEval:
+    def test_requires_environment(self):
+        p = MitigationTask(6)
+        res = p.eval(None, None, 5.0, env=None)
+        assert not res["success"]
+
+    def test_healthy_after_oracle_recovery(self):
+        p = MitigationTask(6, target="compose-post-service")
+        env = p.create_environment(seed=2)
+        p.start_workload(env)
+        p.inject_fault(env)
+        p.recover_fault(env)
+        res = p.eval(None, None, 5.0, env=env)
+        assert res["success"], res["reason"]
+
+    def test_unhealthy_while_fault_active(self):
+        p = MitigationTask(6, target="compose-post-service")
+        env = p.create_environment(seed=2)
+        p.start_workload(env)
+        p.inject_fault(env)
+        res = p.eval(None, None, 5.0, env=env)
+        assert not res["success"]
+        assert "scaled to zero" in res["reason"]

@@ -1,0 +1,103 @@
+import pytest
+
+from repro.core.env import CloudEnvironment
+from repro.core.shell import ShellExecutor
+from repro.apps import HotelReservation
+from repro.simcore import PolicyViolation
+
+
+@pytest.fixture
+def env():
+    return CloudEnvironment(HotelReservation, seed=5, workload_rate=20)
+
+
+@pytest.fixture
+def shell(env):
+    return ShellExecutor(env)
+
+
+class TestSecurityPolicy:
+    @pytest.mark.parametrize("cmd", [
+        "rm -rf /",
+        "shutdown now",
+        "mkfs /dev/sda",
+        "dd if=/dev/zero of=/dev/sda",
+        "curl http://evil.example.com",
+        "wget http://evil.example.com",
+        "kubectl delete namespace test-hotel-reservation",
+    ])
+    def test_denied_commands(self, shell, cmd):
+        out = shell.run(cmd)
+        assert out.startswith("PolicyError:")
+
+    def test_unknown_binary_denied(self, shell):
+        assert "not in the allowed set" in shell.run("python3 -c 'x'")
+
+    def test_check_policy_raises(self, shell):
+        with pytest.raises(PolicyViolation):
+            shell.check_policy("rm -rf /")
+
+    def test_kubectl_allowed(self, shell, env):
+        out = shell.run(f"kubectl get pods -n {env.namespace}")
+        assert "Running" in out
+
+    def test_echo_allowed(self, shell):
+        assert shell.run("echo hello world") == "hello world"
+
+
+class TestHelmCli:
+    def test_helm_list(self, shell, env):
+        out = shell.run("helm list")
+        assert env.app.release_name in out
+
+    def test_helm_get_values(self, shell, env):
+        out = shell.run(f"helm get values {env.app.release_name}")
+        assert "mongo_credentials" in out
+
+    def test_helm_get_values_missing(self, shell):
+        assert "not found" in shell.run("helm get values ghost")
+
+    def test_helm_upgrade_with_set(self, shell, env):
+        rel = env.app.release_name
+        out = shell.run(
+            f"helm upgrade {rel} "
+            f"--set mongo_credentials.mongodb-rate.username=admin "
+            f"--set mongo_credentials.mongodb-rate.password=rate-pass")
+        assert "upgraded" in out and "REVISION: 2" in out
+        assert env.app.get_credentials("rate", "mongodb-rate") == \
+            ("admin", "rate-pass")
+
+    def test_helm_upgrade_missing_release(self, shell):
+        assert "not found" in shell.run("helm upgrade ghost --set a=1")
+
+    def test_helm_unknown_verb(self, shell):
+        assert "unknown command" in shell.run("helm rollback x")
+
+
+class TestFileTools:
+    def test_ls_export_root(self, shell, env):
+        env.advance(6)
+        env.exporter.export_logs(env.namespace)
+        out = shell.run("ls logs")
+        assert "all.jsonl" in out
+
+    def test_cat_inside_root(self, shell, env):
+        env.advance(6)
+        env.exporter.export_logs(env.namespace)
+        out = shell.run("cat logs/all.jsonl")
+        assert '"service"' in out
+
+    def test_path_escape_blocked(self, shell):
+        out = shell.run("cat /etc/passwd")
+        assert "PolicyError" in out
+
+    def test_grep_filters(self, shell, env):
+        env.app.backends["mongodb-geo"].revoke_roles("admin")
+        env.advance(10)
+        env.exporter.export_logs(env.namespace)
+        out = shell.run("grep authorized logs/geo.log")
+        assert "not authorized" in out
+
+    def test_missing_file(self, shell, env):
+        env.exporter.root.mkdir(parents=True, exist_ok=True)
+        assert "No such file" in shell.run("cat nope.txt")

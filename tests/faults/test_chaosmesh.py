@@ -1,0 +1,58 @@
+import pytest
+
+from repro.faults import ChaosMesh, NetworkChaos, PodChaos
+from repro.simcore import InvalidAction
+
+
+class TestNetworkChaos:
+    def test_apply_sets_loss(self, hotel):
+        chaos = ChaosMesh(hotel.app)
+        chaos.apply(NetworkChaos("nl", ["search"], loss=0.5))
+        assert hotel.runtime.network_loss["search"] == 0.5
+
+    def test_delete_clears_loss(self, hotel):
+        chaos = ChaosMesh(hotel.app)
+        chaos.apply(NetworkChaos("nl", ["search"]))
+        chaos.delete("nl")
+        assert "search" not in hotel.runtime.network_loss
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(InvalidAction):
+            NetworkChaos("nl", ["x"], loss=1.5)
+
+    def test_duplicate_name_rejected(self, hotel):
+        chaos = ChaosMesh(hotel.app)
+        chaos.apply(NetworkChaos("nl", ["search"]))
+        with pytest.raises(InvalidAction):
+            chaos.apply(NetworkChaos("nl", ["geo"]))
+
+    def test_delete_unknown_rejected(self, hotel):
+        with pytest.raises(InvalidAction):
+            ChaosMesh(hotel.app).delete("ghost")
+
+
+class TestPodChaos:
+    def test_apply_crashloops_pods(self, hotel):
+        chaos = ChaosMesh(hotel.app)
+        chaos.apply(PodChaos("pf", ["recommendation"]))
+        pods = [p for p in hotel.cluster.pods_in(hotel.app.namespace)
+                if p.owner == "recommendation"]
+        assert pods and all(p.crash_looping for p in pods)
+
+    def test_apply_records_backoff_event(self, hotel):
+        ChaosMesh(hotel.app).apply(PodChaos("pf", ["recommendation"]))
+        reasons = [e.reason for e in
+                   hotel.cluster.events_in(hotel.app.namespace)]
+        assert "BackOff" in reasons
+
+    def test_service_unreachable_under_pod_chaos(self, hotel):
+        ChaosMesh(hotel.app).apply(PodChaos("pf", ["recommendation"]))
+        assert not hotel.cluster.service_reachable(
+            hotel.app.namespace, "recommendation")
+
+    def test_delete_restores(self, hotel):
+        chaos = ChaosMesh(hotel.app)
+        chaos.apply(PodChaos("pf", ["recommendation"]))
+        chaos.delete("pf")
+        assert hotel.cluster.service_reachable(
+            hotel.app.namespace, "recommendation")

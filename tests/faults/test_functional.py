@@ -1,0 +1,151 @@
+import pytest
+
+from repro.faults import ApplicationFaultInjector, VirtFaultInjector
+from repro.simcore import InvalidAction
+
+
+class TestTargetPortMisconfig:
+    def test_inject_breaks_endpoints(self, social):
+        inj = VirtFaultInjector(social.app)
+        inj._inject(["user-service"], "misconfig_k8s")
+        assert not social.cluster.service_reachable(
+            social.app.namespace, "user-service")
+
+    def test_recover_restores_original_port(self, social):
+        inj = VirtFaultInjector(social.app)
+        original = social.cluster.get_service(
+            social.app.namespace, "user-service").ports[0].target_port
+        inj._inject(["user-service"], "misconfig_k8s")
+        inj._recover(["user-service"], "misconfig_k8s")
+        svc = social.cluster.get_service(social.app.namespace, "user-service")
+        assert svc.ports[0].target_port == original
+        assert social.cluster.service_reachable(
+            social.app.namespace, "user-service")
+
+    def test_multiple_targets(self, social):
+        inj = VirtFaultInjector(social.app)
+        targets = ["user-service", "text-service"]
+        inj._inject(targets, "misconfig_k8s")
+        for t in targets:
+            assert not social.cluster.service_reachable(social.app.namespace, t)
+
+
+class TestScalePodZero:
+    def test_inject_and_recover(self, social):
+        inj = VirtFaultInjector(social.app)
+        inj._inject(["compose-post-service"], "scale_pod_zero")
+        dep = social.cluster.get_deployment(social.app.namespace,
+                                            "compose-post-service")
+        assert dep.replicas == 0
+        inj._recover(["compose-post-service"], "scale_pod_zero")
+        dep = social.cluster.get_deployment(social.app.namespace,
+                                            "compose-post-service")
+        assert dep.replicas == 1
+
+
+class TestAssignNonExistentNode:
+    def test_pods_go_pending(self, social):
+        inj = VirtFaultInjector(social.app)
+        inj._inject(["user-timeline-service"], "assign_to_non_existent_node")
+        pods = [p for p in social.cluster.pods_in(social.app.namespace)
+                if p.owner == "user-timeline-service"]
+        assert pods and all(p.phase.value == "Pending" for p in pods)
+
+    def test_recover_reschedules(self, social):
+        inj = VirtFaultInjector(social.app)
+        inj._inject(["user-timeline-service"], "assign_to_non_existent_node")
+        inj._recover(["user-timeline-service"], "assign_to_non_existent_node")
+        pods = [p for p in social.cluster.pods_in(social.app.namespace)
+                if p.owner == "user-timeline-service"]
+        assert pods and all(p.phase.value == "Running" for p in pods)
+
+
+class TestAuthMissing:
+    def test_inject_nullifies_helm_credentials(self, hotel):
+        inj = VirtFaultInjector(hotel.app)
+        inj._inject(["mongodb-rate"], "auth_missing")
+        assert hotel.app.get_credentials("rate", "mongodb-rate") is None
+
+    def test_recover_restores_credentials(self, hotel):
+        inj = VirtFaultInjector(hotel.app)
+        inj._inject(["mongodb-rate"], "auth_missing")
+        inj._recover(["mongodb-rate"], "auth_missing")
+        assert hotel.app.get_credentials("rate", "mongodb-rate") == \
+            ("admin", "rate-pass")
+
+
+class TestRevokeAuth:
+    def test_inject_revokes_roles(self, hotel):
+        inj = ApplicationFaultInjector(hotel.app)
+        inj._inject(["mongodb-geo"], "revoke_auth")
+        assert hotel.app.backends["mongodb-geo"].authorize("admin") == \
+            "not_authorized"
+
+    def test_recover_restores_saved_roles(self, hotel):
+        inj = ApplicationFaultInjector(hotel.app)
+        inj._inject(["mongodb-geo"], "revoke_auth")
+        inj._recover(["mongodb-geo"], "revoke_auth")
+        assert hotel.app.backends["mongodb-geo"].authorize("admin") == ""
+
+    def test_non_mongo_target_rejected(self, hotel):
+        inj = ApplicationFaultInjector(hotel.app)
+        with pytest.raises(InvalidAction):
+            inj._inject(["frontend"], "revoke_auth")
+
+
+class TestUserUnregistered:
+    def test_inject_drops_user(self, hotel):
+        inj = ApplicationFaultInjector(hotel.app)
+        inj._inject(["mongodb-user"], "user_unregistered")
+        assert "admin" not in hotel.app.backends["mongodb-user"].users
+
+    def test_recover_recreates_with_original_password(self, hotel):
+        inj = ApplicationFaultInjector(hotel.app)
+        inj._inject(["mongodb-user"], "user_unregistered")
+        inj._recover(["mongodb-user"], "user_unregistered")
+        backend = hotel.app.backends["mongodb-user"]
+        assert backend.authenticate("admin", "user-pass") == ""
+
+
+class TestBuggyAppImage:
+    def test_inject_swaps_image(self, hotel):
+        inj = ApplicationFaultInjector(hotel.app)
+        inj._inject(["geo"], "buggy_app_image")
+        dep = hotel.cluster.get_deployment(hotel.app.namespace, "geo")
+        assert "buggy" in dep.template.containers[0].image
+
+    def test_recover_restores_image(self, hotel):
+        inj = ApplicationFaultInjector(hotel.app)
+        original = hotel.cluster.get_deployment(
+            hotel.app.namespace, "geo").template.containers[0].image
+        inj._inject(["geo"], "buggy_app_image")
+        inj._recover(["geo"], "buggy_app_image")
+        dep = hotel.cluster.get_deployment(hotel.app.namespace, "geo")
+        assert dep.template.containers[0].image == original
+
+
+class TestInjectorDispatch:
+    def test_unknown_fault_rejected(self, hotel):
+        inj = VirtFaultInjector(hotel.app)
+        with pytest.raises(InvalidAction):
+            inj._inject(["x"], "no_such_fault")
+
+    def test_undeployed_app_rejected(self):
+        from repro.apps import HotelReservation
+        with pytest.raises(InvalidAction):
+            VirtFaultInjector(HotelReservation())
+
+    def test_recover_all_unwinds_everything(self, hotel):
+        inj = ApplicationFaultInjector(hotel.app)
+        inj._inject(["mongodb-geo"], "revoke_auth")
+        inj._inject(["mongodb-user"], "user_unregistered")
+        inj.recover_all()
+        assert hotel.app.backends["mongodb-geo"].authorize("admin") == ""
+        assert "admin" in hotel.app.backends["mongodb-user"].users
+
+    def test_live_records_track_state(self, hotel):
+        inj = ApplicationFaultInjector(hotel.app)
+        record = inj._inject(["mongodb-geo"], "revoke_auth")
+        assert record.active
+        inj._recover(["mongodb-geo"], "revoke_auth")
+        assert not record.active

@@ -1,0 +1,54 @@
+"""Property-style invariant: every fault breaks the system observably and
+every recovery restores it — the precondition for all 48 problems being
+solvable."""
+
+import pytest
+
+from repro.apps import HotelReservation, SocialNetwork
+from repro.faults import (
+    ApplicationFaultInjector, SymptomaticFaultInjector, VirtFaultInjector,
+)
+from tests.conftest import DeployedApp
+
+CASES = [
+    (HotelReservation, VirtFaultInjector, "auth_missing", "mongodb-rate"),
+    (SocialNetwork, VirtFaultInjector, "misconfig_k8s", "user-service"),
+    (SocialNetwork, VirtFaultInjector, "misconfig_k8s", "text-service"),
+    (SocialNetwork, VirtFaultInjector, "misconfig_k8s", "post-storage-service"),
+    (HotelReservation, ApplicationFaultInjector, "revoke_auth", "mongodb-geo"),
+    (HotelReservation, ApplicationFaultInjector, "revoke_auth", "mongodb-profile"),
+    (HotelReservation, ApplicationFaultInjector, "user_unregistered", "mongodb-user"),
+    (HotelReservation, ApplicationFaultInjector, "user_unregistered",
+     "mongodb-reservation"),
+    (HotelReservation, ApplicationFaultInjector, "buggy_app_image", "geo"),
+    (SocialNetwork, VirtFaultInjector, "scale_pod_zero", "compose-post-service"),
+    (SocialNetwork, VirtFaultInjector, "assign_to_non_existent_node",
+     "user-timeline-service"),
+    (HotelReservation, SymptomaticFaultInjector, "network_loss", "search"),
+    (HotelReservation, SymptomaticFaultInjector, "pod_failure", "recommendation"),
+]
+
+
+@pytest.mark.parametrize(
+    "app_cls,inj_cls,fault,target",
+    CASES,
+    ids=[f"{fault}:{target}" for _, _, fault, target in CASES],
+)
+def test_fault_roundtrip(app_cls, inj_cls, fault, target):
+    bundle = DeployedApp(app_cls, seed=11)
+    injector = inj_cls(bundle.app)
+
+    bundle.driver.run_for(10)
+    baseline_errors = bundle.driver.stats.errors
+    assert baseline_errors == 0, "system must be healthy before injection"
+
+    injector._inject([target], fault)
+    bundle.driver.run_for(20)
+    fault_errors = bundle.driver.stats.errors - baseline_errors
+    assert fault_errors > 0, f"{fault} on {target} produced no failures"
+
+    injector._recover([target], fault)
+    before = bundle.driver.stats.errors
+    bundle.driver.run_for(10)
+    assert bundle.driver.stats.errors == before, \
+        f"{fault} on {target} still failing after recovery"

@@ -1,0 +1,102 @@
+"""End-to-end integration: simulated agents solving real problems through
+the full stack (env → fault → ACI → agent → evaluator)."""
+
+import pytest
+
+from repro.bench import BenchmarkRunner
+from repro.core import LlmJudge, Orchestrator
+from repro.problems import get_problem, noop_pids
+
+
+class TestOracleSolvesEverything:
+    """The oracle profile proves every problem family is solvable through
+    the ACI — the environment-side guarantee all 48 problems rest on."""
+
+    @pytest.mark.parametrize("pid", [
+        "auth_missing_hotel_res-mitigation-1",
+        "misconfig_k8s_social_net-mitigation-1",
+        "revoke_auth_hotel_res-mitigation-1",
+        "user_unregistered_hotel_res-mitigation-1",
+        "buggy_app_image_hotel_res-mitigation-1",
+        "scale_pod_zero_social_net-mitigation-1",
+        "assign_to_non_existent_node_social_net-mitigation-1",
+    ])
+    def test_oracle_mitigates_every_functional_fault(self, pid):
+        case = BenchmarkRunner(max_steps=20, seed=5).run_case("oracle", pid)
+        assert case.success, case.session.transcript()
+
+    @pytest.mark.parametrize("task,pid", [
+        ("detection", "revoke_auth_hotel_res-detection-1"),
+        ("detection", "network_loss_hotel_res-detection-1"),
+        ("detection", "pod_failure_hotel_res-detection-1"),
+        ("localization", "misconfig_k8s_social_net-localization-2"),
+        ("localization", "assign_to_non_existent_node_social_net-localization-1"),
+        ("analysis", "auth_missing_hotel_res-analysis-1"),
+        ("analysis", "buggy_app_image_hotel_res-analysis-1"),
+    ])
+    def test_oracle_solves_answer_tasks(self, task, pid):
+        case = BenchmarkRunner(max_steps=20, seed=5).run_case("oracle", pid)
+        assert case.success, case.session.transcript()
+
+    def test_oracle_rejects_noop(self):
+        for pid in noop_pids():
+            case = BenchmarkRunner(max_steps=20, seed=5).run_case("oracle", pid)
+            assert case.success, f"oracle false-positived on {pid}"
+
+
+class TestPaperAgentBehaviours:
+    def test_gpt35_loops_on_errors(self):
+        """§3.6.3: GPT-3.5 repeats malformed calls instead of recovering."""
+        case = BenchmarkRunner(max_steps=20, seed=3).run_case(
+            "gpt-3.5-w-shell", "revoke_auth_hotel_res-mitigation-1")
+        raws = [s.action_raw for s in case.session.steps]
+        assert len(raws) > len(set(raws)), "expected repeated actions"
+        assert not case.success
+
+    def test_flash_answers_all_detection(self):
+        runner = BenchmarkRunner(max_steps=20, seed=3)
+        from repro.problems import list_problems
+        wins = sum(runner.run_case("flash", pid).success
+                   for pid in list_problems("detection")[:6])
+        assert wins == 6
+
+    def test_flash_never_calls_get_traces(self):
+        """Figure 6: FLASH's action mix contains no get_traces calls."""
+        runner = BenchmarkRunner(max_steps=20, seed=3)
+        case = runner.run_case("flash",
+                               "misconfig_k8s_social_net-localization-1")
+        assert all(s.action_name != "get_traces" for s in case.session.steps)
+
+    def test_judge_grades_real_session(self):
+        orch = Orchestrator(seed=4)
+        orch.init_problem(get_problem("revoke_auth_hotel_res-detection-1"))
+        from repro.agents import build_agent
+        agent = build_agent("oracle", *orch.init_problem(
+            get_problem("revoke_auth_hotel_res-detection-1")),
+            task_type="detection", seed=4)
+        orch.register_agent(agent, "oracle")
+        res = orch.run_problem(max_steps=10)
+        verdict = LlmJudge().judge(orch.session, "detection")
+        assert res["success"] and verdict.grounded
+
+
+class TestDynamicEnvironmentProperty:
+    def test_workload_continues_during_agent_session(self):
+        """The cloud must keep living while the agent thinks (§2.2.3)."""
+        orch = Orchestrator(seed=6)
+        orch.init_problem(get_problem("revoke_auth_hotel_res-detection-1"))
+        requests_before = orch.env.driver.stats.requests
+
+        class SlowAgent:
+            async def get_action(self, state):
+                return 'submit("yes")'
+
+        orch.register_agent(SlowAgent(), "slow")
+        orch.run_problem(max_steps=5)
+        assert orch.env.driver.stats.requests > requests_before
+
+    def test_fresh_environment_per_problem(self):
+        r = BenchmarkRunner(max_steps=5, seed=7)
+        c1 = r.run_case("oracle", "scale_pod_zero_social_net-detection-1")
+        c2 = r.run_case("oracle", "scale_pod_zero_social_net-detection-1")
+        assert c1.session is not c2.session

@@ -1,0 +1,57 @@
+"""Every shipped example must run end to end (they are the public API's
+acceptance tests)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv=None):
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "evaluation" in out and "success" in out
+
+    def test_custom_problem(self, capsys):
+        run_example("custom_problem.py")
+        out = capsys.readouterr().out
+        assert "oracle on the double-fault problem" in out
+        # the oracle must prove the custom problem solvable
+        oracle_block = out.split("flash on")[0]
+        assert "success: True" in oracle_block
+
+    def test_offline_baselines(self, capsys):
+        run_example("offline_baselines.py")
+        out = capsys.readouterr().out
+        assert "MKSMC" in out and "RMLAD" in out and "PDiagnose" in out
+        assert "top-3" in out
+
+    def test_incident_walkthrough(self, capsys):
+        run_example("incident_walkthrough.py")
+        out = capsys.readouterr().out
+        assert "mitigation check: success=True" in out
+
+    def test_agentops_lifecycle(self, capsys):
+        run_example("agentops_lifecycle.py")
+        out = capsys.readouterr().out
+        assert "=== oracle ===" in out
+        assert "resolved: True" in out.split("=== flash ===")[0]
+
+    @pytest.mark.slow
+    def test_run_benchmark_quick(self, capsys):
+        run_example("run_benchmark.py", argv=["--quick", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "Figure 5" in out

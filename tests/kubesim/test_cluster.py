@@ -1,0 +1,214 @@
+import pytest
+
+from repro.kubesim import Cluster
+from repro.kubesim.objects import (
+    ConfigMap, Container, ContainerPort, Deployment, ObjectMeta, PodTemplate,
+    Secret, Service, ServicePort,
+)
+from repro.simcore import InvalidAction, ResourceNotFound, SimClock
+
+
+def make_deployment(name="web", ns="default", replicas=2, port=8080,
+                    image="img:latest", node_name=None):
+    return Deployment(
+        meta=ObjectMeta(name=name, namespace=ns),
+        replicas=replicas,
+        selector={"app": name},
+        template=PodTemplate(
+            labels={"app": name},
+            containers=[Container(name, image, [ContainerPort(port)])],
+            node_name=node_name,
+        ),
+    )
+
+
+def make_service(name="web", ns="default", port=8080, target=None):
+    return Service(
+        meta=ObjectMeta(name=name, namespace=ns),
+        selector={"app": name},
+        ports=[ServicePort(port=port, target_port=target or port)],
+    )
+
+
+class TestNamespaces:
+    def test_default_namespaces_exist(self, cluster):
+        assert "default" in cluster.namespaces
+        assert "kube-system" in cluster.namespaces
+
+    def test_create_and_delete(self, cluster):
+        cluster.create_namespace("app")
+        assert "app" in cluster.namespaces
+        cluster.delete_namespace("app")
+        assert "app" not in cluster.namespaces
+
+    def test_delete_namespace_removes_contents(self, cluster):
+        cluster.create_namespace("app")
+        cluster.create_deployment(make_deployment(ns="app"))
+        cluster.delete_namespace("app")
+        assert cluster.pods_in("app") == []
+        assert cluster.deployments_in("app") == []
+
+    def test_delete_missing_namespace(self, cluster):
+        with pytest.raises(ResourceNotFound):
+            cluster.delete_namespace("ghost")
+
+
+class TestDeployments:
+    def test_create_spawns_pods(self, cluster):
+        cluster.create_deployment(make_deployment(replicas=3))
+        assert len(cluster.pods_in("default")) == 3
+
+    def test_pods_are_running_and_ready(self, cluster):
+        cluster.create_deployment(make_deployment())
+        for pod in cluster.pods_in("default"):
+            assert pod.phase.value == "Running"
+            assert pod.ready
+
+    def test_pod_names_follow_deployment(self, cluster):
+        cluster.create_deployment(make_deployment(name="api"))
+        assert all(p.name.startswith("api-") for p in cluster.pods_in("default"))
+
+    def test_duplicate_rejected(self, cluster):
+        cluster.create_deployment(make_deployment())
+        with pytest.raises(InvalidAction):
+            cluster.create_deployment(make_deployment())
+
+    def test_scale_up(self, cluster):
+        cluster.create_deployment(make_deployment(replicas=1))
+        cluster.scale_deployment("default", "web", 4)
+        assert len(cluster.pods_in("default")) == 4
+
+    def test_scale_down_to_zero(self, cluster):
+        cluster.create_deployment(make_deployment(replicas=2))
+        cluster.scale_deployment("default", "web", 0)
+        assert cluster.pods_in("default") == []
+
+    def test_scale_negative_rejected(self, cluster):
+        cluster.create_deployment(make_deployment())
+        with pytest.raises(InvalidAction):
+            cluster.scale_deployment("default", "web", -1)
+
+    def test_scale_missing_deployment(self, cluster):
+        with pytest.raises(ResourceNotFound):
+            cluster.scale_deployment("default", "ghost", 1)
+
+    def test_delete_removes_pods(self, cluster):
+        cluster.create_deployment(make_deployment())
+        cluster.delete_deployment("default", "web")
+        assert cluster.pods_in("default") == []
+
+    def test_scaling_records_events(self, cluster):
+        cluster.create_deployment(make_deployment())
+        cluster.scale_deployment("default", "web", 5)
+        reasons = [e.reason for e in cluster.events_in("default")]
+        assert "ScalingReplicaSet" in reasons
+
+
+class TestServicesAndEndpoints:
+    def test_endpoints_track_ready_pods(self, cluster):
+        cluster.create_deployment(make_deployment(replicas=2))
+        cluster.create_service(make_service())
+        ep = cluster.get_endpoints("default", "web")
+        assert len(ep.addresses) == 2
+
+    def test_service_reachable(self, cluster):
+        cluster.create_deployment(make_deployment())
+        cluster.create_service(make_service())
+        assert cluster.service_reachable("default", "web")
+
+    def test_target_port_mismatch_empties_endpoints(self, cluster):
+        cluster.create_deployment(make_deployment(port=8080))
+        cluster.create_service(make_service(port=8080, target=9999))
+        assert not cluster.service_reachable("default", "web")
+
+    def test_endpoints_follow_scale_to_zero(self, cluster):
+        cluster.create_deployment(make_deployment())
+        cluster.create_service(make_service())
+        cluster.scale_deployment("default", "web", 0)
+        assert not cluster.service_reachable("default", "web")
+
+    def test_endpoints_recover_after_scale_up(self, cluster):
+        cluster.create_deployment(make_deployment())
+        cluster.create_service(make_service())
+        cluster.scale_deployment("default", "web", 0)
+        cluster.scale_deployment("default", "web", 2)
+        assert cluster.service_reachable("default", "web")
+
+    def test_crashlooping_pod_excluded_from_endpoints(self, cluster):
+        cluster.create_deployment(make_deployment(replicas=1))
+        cluster.create_service(make_service())
+        for pod in cluster.pods_in("default"):
+            pod.crash_looping = True
+        cluster.reconcile()
+        assert not cluster.service_reachable("default", "web")
+
+    def test_delete_service_removes_endpoints(self, cluster):
+        cluster.create_deployment(make_deployment())
+        cluster.create_service(make_service())
+        cluster.delete_service("default", "web")
+        assert ("default", "web") not in cluster.endpoints
+
+    def test_selector_mismatch_no_endpoints(self, cluster):
+        cluster.create_deployment(make_deployment(name="web"))
+        svc = make_service(name="other")
+        svc.selector = {"app": "other"}
+        cluster.create_service(svc)
+        assert not cluster.service_reachable("default", "other")
+
+
+class TestSchedulerBehaviour:
+    def test_nonexistent_node_leaves_pending(self, cluster):
+        cluster.create_deployment(make_deployment(node_name="node-404"))
+        pods = cluster.pods_in("default")
+        assert all(p.phase.value == "Pending" for p in pods)
+
+    def test_nonexistent_node_records_warning_event(self, cluster):
+        cluster.create_deployment(make_deployment(node_name="node-404"))
+        warnings = [e for e in cluster.events_in("default")
+                    if e.event_type == "Warning"]
+        assert any("FailedScheduling" == e.reason for e in warnings)
+
+    def test_existing_node_name_schedules(self, cluster):
+        cluster.create_deployment(make_deployment(node_name="node-0"))
+        assert all(p.phase.value == "Running"
+                   for p in cluster.pods_in("default"))
+
+    def test_adding_node_unblocks_pending(self, cluster):
+        cluster.create_deployment(make_deployment(node_name="node-9"))
+        cluster.add_node("node-9")
+        cluster.reconcile()
+        assert all(p.phase.value == "Running"
+                   for p in cluster.pods_in("default"))
+
+    def test_load_balances_across_nodes(self, cluster):
+        cluster.add_node("node-1")
+        cluster.create_deployment(make_deployment(replicas=4))
+        nodes = {p.bound_node for p in cluster.pods_in("default")}
+        assert nodes == {"node-0", "node-1"}
+
+
+class TestReconcileIdempotence:
+    def test_reconcile_converges(self, cluster):
+        cluster.create_deployment(make_deployment(replicas=3))
+        cluster.create_service(make_service())
+        pods_before = sorted(p.name for p in cluster.pods_in("default"))
+        for _ in range(5):
+            cluster.reconcile()
+        pods_after = sorted(p.name for p in cluster.pods_in("default"))
+        assert pods_before == pods_after
+
+
+class TestConfigMapsAndSecrets:
+    def test_configmap_roundtrip(self, cluster):
+        cluster.create_configmap(ConfigMap(
+            meta=ObjectMeta("cfg", "default"), data={"k": "v"}))
+        assert cluster.get_configmap("default", "cfg").data == {"k": "v"}
+
+    def test_secret_roundtrip(self, cluster):
+        cluster.create_secret(Secret(
+            meta=ObjectMeta("sec", "default"), data={"password": "p"}))
+        assert cluster.get_secret("default", "sec").data["password"] == "p"
+
+    def test_missing_configmap(self, cluster):
+        with pytest.raises(ResourceNotFound):
+            cluster.get_configmap("default", "ghost")

@@ -1,0 +1,105 @@
+import pytest
+
+from repro.kubesim import Cluster, Helm, HelmChart
+from repro.kubesim.helm import ChartService, merge_values
+from repro.simcore import InvalidAction, ResourceNotFound
+
+
+@pytest.fixture
+def chart():
+    return HelmChart(
+        name="demo",
+        services=[
+            ChartService(name="front", image="front:1", port=80),
+            ChartService(name="db", image="db:1", port=5432, replicas=2),
+        ],
+        default_values={"auth": {"enabled": True}, "tag": "v1"},
+    )
+
+
+@pytest.fixture
+def helm(cluster):
+    return Helm(cluster)
+
+
+class TestMergeValues:
+    def test_override_scalar(self):
+        assert merge_values({"a": 1}, {"a": 2}) == {"a": 2}
+
+    def test_deep_merge(self):
+        out = merge_values({"a": {"x": 1, "y": 2}}, {"a": {"y": 3}})
+        assert out == {"a": {"x": 1, "y": 3}}
+
+    def test_none_override_replaces_dict(self):
+        out = merge_values({"a": {"x": 1}}, {"a": None})
+        assert out == {"a": None}
+
+    def test_dict_override_replaces_none(self):
+        out = merge_values({"a": None}, {"a": {"x": 1}})
+        assert out == {"a": {"x": 1}}
+
+    def test_no_mutation_of_base(self):
+        base = {"a": {"x": 1}}
+        merge_values(base, {"a": {"x": 2}})
+        assert base == {"a": {"x": 1}}
+
+    def test_none_override_arg(self):
+        assert merge_values({"a": 1}, None) == {"a": 1}
+
+
+class TestInstall:
+    def test_install_creates_objects(self, helm, chart, cluster):
+        helm.install("rel", chart, "ns1")
+        assert len(cluster.deployments_in("ns1")) == 2
+        assert len(cluster.services_in("ns1")) == 2
+        assert len(cluster.pods_in("ns1")) == 3  # 1 front + 2 db
+
+    def test_install_creates_namespace(self, helm, chart, cluster):
+        helm.install("rel", chart, "brand-new")
+        assert "brand-new" in cluster.namespaces
+
+    def test_values_merged_over_defaults(self, helm, chart):
+        rel = helm.install("rel", chart, "ns1", values={"tag": "v2"})
+        assert rel.values["tag"] == "v2"
+        assert rel.values["auth"] == {"enabled": True}
+
+    def test_duplicate_release_rejected(self, helm, chart):
+        helm.install("rel", chart, "ns1")
+        with pytest.raises(InvalidAction):
+            helm.install("rel", chart, "ns1")
+
+    def test_services_reachable_after_install(self, helm, chart, cluster):
+        helm.install("rel", chart, "ns1")
+        assert cluster.service_reachable("ns1", "front")
+        assert cluster.service_reachable("ns1", "db")
+
+
+class TestUpgrade:
+    def test_upgrade_bumps_revision(self, helm, chart):
+        helm.install("rel", chart, "ns1")
+        rel = helm.upgrade("rel", values={"tag": "v3"})
+        assert rel.revision == 2
+        assert rel.values["tag"] == "v3"
+
+    def test_upgrade_rerenders_pods(self, helm, chart, cluster):
+        helm.install("rel", chart, "ns1")
+        before = {p.name for p in cluster.pods_in("ns1")}
+        helm.upgrade("rel")
+        after = {p.name for p in cluster.pods_in("ns1")}
+        assert before.isdisjoint(after) and len(after) == 3
+
+    def test_upgrade_missing_release(self, helm):
+        with pytest.raises(ResourceNotFound):
+            helm.upgrade("ghost")
+
+
+class TestUninstall:
+    def test_uninstall_removes_objects(self, helm, chart, cluster):
+        helm.install("rel", chart, "ns1")
+        helm.uninstall("rel")
+        assert cluster.deployments_in("ns1") == []
+        assert cluster.pods_in("ns1") == []
+
+    def test_uninstall_missing(self, helm):
+        with pytest.raises(ResourceNotFound):
+            helm.uninstall("ghost")

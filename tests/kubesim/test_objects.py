@@ -1,0 +1,67 @@
+from hypothesis import given, settings, strategies as st
+
+from repro.kubesim.objects import (
+    Container, ContainerPort, ObjectMeta, Pod, PodPhase,
+)
+
+
+class TestObjectMeta:
+    def test_matches_empty_selector(self):
+        assert ObjectMeta("x", labels={"a": "1"}).matches({})
+
+    def test_matches_subset(self):
+        meta = ObjectMeta("x", labels={"a": "1", "b": "2"})
+        assert meta.matches({"a": "1"})
+
+    def test_mismatch_value(self):
+        assert not ObjectMeta("x", labels={"a": "1"}).matches({"a": "2"})
+
+    def test_missing_key(self):
+        assert not ObjectMeta("x", labels={}).matches({"a": "1"})
+
+    label_st = st.dictionaries(
+        st.text(min_size=1, max_size=5), st.text(min_size=1, max_size=5),
+        max_size=4)
+
+    @given(labels=label_st)
+    @settings(max_examples=40)
+    def test_labels_always_match_themselves(self, labels):
+        assert ObjectMeta("x", labels=labels).matches(dict(labels))
+
+
+class TestPod:
+    def make(self, **kw):
+        return Pod(meta=ObjectMeta("p1"),
+                   containers=[Container("c", "img", [ContainerPort(80)])],
+                   **kw)
+
+    def test_container_ports(self):
+        assert self.make().container_ports() == {80}
+
+    def test_ready_display_not_ready(self):
+        assert self.make().ready_display() == "0/1"
+
+    def test_ready_display_ready(self):
+        pod = self.make()
+        pod.ready = True
+        assert pod.ready_display() == "1/1"
+
+    def test_status_display_phases(self):
+        pod = self.make()
+        pod.phase = PodPhase.RUNNING
+        assert pod.status_display() == "Running"
+
+    def test_status_display_crashloop_overrides(self):
+        pod = self.make()
+        pod.phase = PodPhase.RUNNING
+        pod.crash_looping = True
+        assert pod.status_display() == "CrashLoopBackOff"
+
+    def test_status_display_terminating(self):
+        pod = self.make()
+        pod.deletion_requested = True
+        assert pod.status_display() == "Terminating"
+
+    def test_container_has_port(self):
+        c = Container("c", "img", [ContainerPort(80), ContainerPort(443)])
+        assert c.has_port(443) and not c.has_port(8080)

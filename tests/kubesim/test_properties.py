@@ -1,0 +1,93 @@
+"""Property-based tests: the cluster's controllers maintain invariants
+under arbitrary operation sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kubesim import Cluster
+from repro.kubesim.objects import PodPhase
+from repro.simcore import SimClock
+from tests.kubesim.test_cluster import make_deployment, make_service
+
+# an operation is (kind, deployment_index, amount)
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["scale", "delete_pod", "reconcile", "add_node"]),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=4),
+    ),
+    max_size=12,
+)
+
+
+def build_cluster() -> Cluster:
+    cluster = Cluster(clock=SimClock(), seed=1)
+    for i in range(3):
+        cluster.create_deployment(
+            make_deployment(name=f"svc{i}", replicas=2, port=8000 + i))
+        cluster.create_service(make_service(name=f"svc{i}", port=8000 + i))
+    return cluster
+
+
+def apply(cluster: Cluster, op) -> None:
+    kind, idx, amount = op
+    name = f"svc{idx}"
+    if kind == "scale":
+        cluster.scale_deployment("default", name, amount)
+    elif kind == "delete_pod":
+        pods = [p for p in cluster.pods_in("default") if p.owner == name]
+        if pods:
+            cluster.delete_pod("default", pods[0].name)
+    elif kind == "reconcile":
+        cluster.reconcile()
+    elif kind == "add_node":
+        node = f"extra-node-{amount}"
+        if node not in cluster.nodes:
+            cluster.add_node(node)
+
+
+class TestClusterInvariants:
+    @given(ops=ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_pod_count_matches_replicas(self, ops):
+        cluster = build_cluster()
+        for op in ops:
+            apply(cluster, op)
+        cluster.reconcile()
+        for dep in cluster.deployments_in("default"):
+            pods = cluster.pods_for_deployment(dep)
+            assert len(pods) == dep.replicas
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_endpoints_only_reference_ready_pods(self, ops):
+        cluster = build_cluster()
+        for op in ops:
+            apply(cluster, op)
+        cluster.reconcile()
+        for (ns, name), ep in cluster.endpoints.items():
+            pod_names = {p.name for p in cluster.pods_in(ns)
+                         if p.ready and p.phase is PodPhase.RUNNING}
+            for addr in ep.addresses:
+                assert addr.pod_name in pod_names
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_reconcile_idempotent_after_any_sequence(self, ops):
+        cluster = build_cluster()
+        for op in ops:
+            apply(cluster, op)
+        cluster.reconcile()
+        snapshot = sorted(cluster.pods)
+        cluster.reconcile()
+        assert sorted(cluster.pods) == snapshot
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_every_running_pod_is_bound_to_existing_node(self, ops):
+        cluster = build_cluster()
+        for op in ops:
+            apply(cluster, op)
+        cluster.reconcile()
+        for pod in cluster.pods_in("default"):
+            if pod.phase is PodPhase.RUNNING:
+                assert pod.bound_node in cluster.nodes

@@ -1,0 +1,76 @@
+import pytest
+
+from repro.problems import (
+    benchmark_pids, get_problem, list_problems, noop_pids, pool_summary,
+)
+
+
+class TestPoolComposition:
+    """The §3.3 accounting: 48 problems, Table 4 denominators 13/13/11/11."""
+
+    def test_total_is_48(self):
+        assert len(benchmark_pids()) == 48
+
+    def test_task_counts_match_table4_denominators(self):
+        summary = pool_summary()
+        assert summary["detection"] == 13
+        assert summary["localization"] == 13
+        assert summary["analysis"] == 11
+        assert summary["mitigation"] == 11
+
+    def test_two_noop_probes(self):
+        assert len(noop_pids()) == 2
+
+    def test_noop_probes_cover_both_apps(self):
+        assert any("hotel" in p for p in noop_pids())
+        assert any("social" in p for p in noop_pids())
+
+    def test_pids_unique(self):
+        pids = benchmark_pids() + noop_pids()
+        assert len(pids) == len(set(pids))
+
+    def test_target_port_misconfig_has_12_problems(self):
+        """Table 2: Fault 2 instantiates 12 problems (3 targets × 4 levels)."""
+        count = sum(1 for p in benchmark_pids()
+                    if p.startswith("misconfig_k8s_"))
+        assert count == 12
+
+    def test_symptomatic_only_levels_1_2(self):
+        for key in ("network_loss", "pod_failure"):
+            tasks = {p.split("-")[1] for p in benchmark_pids()
+                     if p.startswith(key)}
+            assert tasks == {"detection", "localization"}
+
+    def test_list_problems_filter(self):
+        for task in ("detection", "localization", "analysis", "mitigation"):
+            assert all(f"-{task}-" in p for p in list_problems(task))
+
+    def test_list_problems_include_noop(self):
+        assert len(list_problems(include_noop=True)) == 50
+
+
+class TestProblemInstantiation:
+    def test_every_pid_instantiates(self):
+        for pid in benchmark_pids() + noop_pids():
+            problem = get_problem(pid)
+            assert problem.pid == pid
+
+    def test_problems_are_fresh_instances(self):
+        pid = benchmark_pids()[0]
+        assert get_problem(pid) is not get_problem(pid)
+
+    def test_unknown_pid(self):
+        with pytest.raises(KeyError, match="unknown problem id"):
+            get_problem("bogus")
+
+    def test_paper_style_pid_resolves(self):
+        p = get_problem("misconfig_k8s_social_net-mitigation-1")
+        assert p.task_type == "mitigation"
+        assert p.target == "user-service"
+
+    def test_targets_differ_across_indices(self):
+        p1 = get_problem("misconfig_k8s_social_net-localization-1")
+        p2 = get_problem("misconfig_k8s_social_net-localization-2")
+        p3 = get_problem("misconfig_k8s_social_net-localization-3")
+        assert {p1.target, p2.target, p3.target} == {
+            "user-service", "text-service", "post-storage-service"}

@@ -1,0 +1,44 @@
+from repro.services import errors as err
+from repro.services.errors import RpcErrorKind
+
+
+class TestErrorSignatures:
+    """Each error factory must emit the log signature agents key on."""
+
+    def test_connection_refused_names_service_and_port(self):
+        e = err.connection_refused("user-service", 9100)
+        assert e.kind is RpcErrorKind.CONNECTION_REFUSED
+        assert 'service "user-service" port 9100' in e.message
+        assert "connection refused" in e.message
+
+    def test_network_drop(self):
+        e = err.network_drop("search")
+        assert e.kind is RpcErrorKind.NETWORK_DROP
+        assert "packet dropped" in e.message
+
+    def test_timeout_includes_deadline(self):
+        e = err.timeout("rate", 150.0)
+        assert "DeadlineExceeded" in e.message and "150ms" in e.message
+
+    def test_auth_failed_mentions_db(self):
+        e = err.auth_failed("mongodb-geo", "geo-db")
+        assert e.kind is RpcErrorKind.AUTH_FAILED
+        assert 'Authentication failed on db "geo-db"' in e.message
+
+    def test_not_authorized_matches_figure4(self):
+        """The paper's Figure 4 message shape: not authorized on geo-db."""
+        e = err.not_authorized("mongodb-geo", "geo-db", "find")
+        assert "not authorized on geo-db to execute command" in e.message
+
+    def test_user_not_found_names_user(self):
+        e = err.user_not_found("mongodb-user", "user-db", "admin")
+        assert 'Could not find user "admin"' in e.message
+
+    def test_app_bug_is_a_panic(self):
+        e = err.app_bug("geo", "img:buggy-v2")
+        assert e.message.startswith("panic:")
+        assert "buggy-v2" in e.message
+
+    def test_str_contains_kind_and_service(self):
+        e = err.unavailable("db", "down")
+        assert "unavailable" in str(e) and "db" in str(e)

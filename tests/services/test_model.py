@@ -1,0 +1,31 @@
+from repro.services.model import CallEdge, Microservice, Operation
+
+
+class TestMicroservice:
+    def test_default_image_derived_from_name(self):
+        ms = Microservice(name="geo", port=8083)
+        assert ms.image == "deathstarbench/geo:latest"
+
+    def test_explicit_image_kept(self):
+        ms = Microservice(name="geo", port=8083, image="custom:1")
+        assert ms.image == "custom:1"
+
+
+class TestOperation:
+    def test_all_services_includes_entry(self):
+        op = Operation(name="op", entry="frontend")
+        assert op.all_services() == {"frontend"}
+
+    def test_all_services_walks_tree(self):
+        op = Operation(
+            name="op", entry="a",
+            tree=[CallEdge("b", children=[CallEdge("c"), CallEdge("d")])],
+        )
+        assert op.all_services() == {"a", "b", "c", "d"}
+
+    def test_shared_subtree_counted_once(self):
+        shared = CallEdge("db")
+        op = Operation(name="op", entry="a",
+                       tree=[CallEdge("b", children=[shared]),
+                             CallEdge("c", children=[shared])])
+        assert op.all_services() == {"a", "b", "c", "db"}

@@ -1,0 +1,136 @@
+import pytest
+
+from repro.services.errors import RpcErrorKind
+
+
+class TestHealthyExecution:
+    def test_all_operations_succeed(self, hotel):
+        for op in hotel.app.operations:
+            result = hotel.runtime.execute(op)
+            assert result.ok, f"{op} failed: {result.error}"
+
+    def test_latency_positive_and_composed(self, hotel):
+        result = hotel.runtime.execute("search_hotel")
+        assert result.latency_ms > 1.0
+
+    def test_traces_recorded(self, hotel):
+        before = len(hotel.collector.traces)
+        hotel.runtime.execute("search_hotel")
+        assert len(hotel.collector.traces) == before + 1
+
+    def test_trace_covers_call_graph(self, hotel):
+        result = hotel.runtime.execute("search_hotel")
+        trace = hotel.collector.traces.query()[-1]
+        services = {s.service for s in trace.spans}
+        assert {"frontend", "search", "geo", "mongodb-geo"} <= services
+
+    def test_unknown_operation_rejected(self, hotel):
+        with pytest.raises(KeyError):
+            hotel.runtime.execute("no_such_op")
+
+    def test_request_metrics_recorded(self, hotel):
+        hotel.runtime.execute("search_hotel")
+        hotel.collector.scrape(hotel.cluster, hotel.app.namespace)
+        assert hotel.collector.metrics.snapshot_latest("request_rate")
+
+
+class TestMongoFaultPath:
+    def test_revoked_auth_fails_geo_path(self, hotel):
+        hotel.app.backends["mongodb-geo"].revoke_roles("admin")
+        result = hotel.runtime.execute("search_hotel")
+        assert not result.ok
+        assert result.error.kind is RpcErrorKind.NOT_AUTHORIZED
+
+    def test_error_logged_at_caller_service(self, hotel):
+        """Figure 4: injection at mongodb-geo, geo generates error logs."""
+        hotel.app.backends["mongodb-geo"].revoke_roles("admin")
+        hotel.runtime.execute("search_hotel")
+        geo_logs = hotel.collector.logs.query(
+            namespace=hotel.app.namespace, service="geo", level="ERROR")
+        assert any("not authorized on geo-db" in r.message for r in geo_logs)
+
+    def test_error_propagates_up_the_chain(self, hotel):
+        hotel.app.backends["mongodb-geo"].revoke_roles("admin")
+        hotel.runtime.execute("search_hotel")
+        for svc in ("geo", "search", "frontend"):
+            logs = hotel.collector.logs.query(
+                namespace=hotel.app.namespace, service=svc, level="ERROR")
+            assert logs, f"{svc} should log the propagated failure"
+
+    def test_unrelated_operation_unaffected(self, hotel):
+        hotel.app.backends["mongodb-geo"].revoke_roles("admin")
+        result = hotel.runtime.execute("login")  # user path, not geo
+        assert result.ok
+
+    def test_dropped_user_yields_user_not_found(self, hotel):
+        hotel.app.backends["mongodb-user"].drop_user("admin")
+        result = hotel.runtime.execute("login")
+        assert not result.ok
+        assert result.error.kind is RpcErrorKind.USER_NOT_FOUND
+
+    def test_error_span_marked(self, hotel):
+        hotel.app.backends["mongodb-geo"].revoke_roles("admin")
+        result = hotel.runtime.execute("search_hotel")
+        trace = [t for t in hotel.collector.traces.query()
+                 if t.trace_id == result.trace_id][0]
+        assert trace.has_error
+        assert "mongodb-geo" in trace.error_services()
+
+
+class TestConnectivityFaultPath:
+    def test_scaled_to_zero_is_connection_refused(self, social):
+        social.cluster.scale_deployment(social.app.namespace,
+                                        "post-storage-service", 0)
+        result = social.runtime.execute("read_home_timeline")
+        assert not result.ok
+        assert result.error.kind is RpcErrorKind.CONNECTION_REFUSED
+        assert 'service "post-storage-service"' in result.error.message
+
+    def test_network_loss_drops_requests(self, hotel):
+        hotel.runtime.network_loss["search"] = 1.0
+        result = hotel.runtime.execute("search_hotel")
+        assert not result.ok
+        assert result.error.kind is RpcErrorKind.NETWORK_DROP
+
+    def test_partial_loss_is_probabilistic(self, hotel):
+        hotel.runtime.network_loss["search"] = 0.5
+        outcomes = {hotel.runtime.execute("search_hotel").ok
+                    for _ in range(40)}
+        assert outcomes == {True, False}
+
+    def test_buggy_image_read_from_live_deployment(self, hotel):
+        """`kubectl set image` on the deployment template must drive the
+        runtime's behaviour (so mitigation by image rollback works)."""
+        dep = hotel.cluster.get_deployment(hotel.app.namespace, "geo")
+        dep.template.containers[0].image = "hotel-geo:buggy-v2"
+        result = hotel.runtime.execute("search_hotel")
+        assert not result.ok
+        assert result.error.kind is RpcErrorKind.APP_BUG
+        # rollback
+        dep.template.containers[0].image = "hotel-geo:latest"
+        assert hotel.runtime.execute("search_hotel").ok
+
+    def test_frontend_down_fails_fast(self, hotel):
+        hotel.cluster.scale_deployment(hotel.app.namespace, "frontend", 0)
+        result = hotel.runtime.execute("search_hotel")
+        assert not result.ok
+        assert result.error.kind is RpcErrorKind.CONNECTION_REFUSED
+
+
+class TestCredentialsProvider:
+    def test_missing_credentials_fail_handshake(self, hotel):
+        release = hotel.app.helm.releases[hotel.app.release_name]
+        release.values["mongo_credentials"]["mongodb-rate"] = None
+        result_errors = [
+            hotel.runtime.execute("search_hotel").error for _ in range(3)
+        ]
+        kinds = {e.kind for e in result_errors if e}
+        assert RpcErrorKind.AUTH_FAILED in kinds
+
+    def test_helm_upgrade_restores_access(self, hotel):
+        release = hotel.app.helm.releases[hotel.app.release_name]
+        release.values["mongo_credentials"]["mongodb-rate"] = None
+        assert not hotel.runtime.execute("search_hotel").ok
+        release.values["mongo_credentials"]["mongodb-rate"] = {
+            "username": "admin", "password": "rate-pass"}
+        assert hotel.runtime.execute("search_hotel").ok

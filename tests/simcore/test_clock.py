@@ -1,0 +1,47 @@
+import pytest
+
+from repro.simcore import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_custom_time(self):
+        assert SimClock(start=42.5).now == 42.5
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        assert clock.advance(3.0) == 3.0
+        assert clock.now == 3.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == 4.0
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(start=5.0)
+        clock.advance(0.0)
+        assert clock.now == 5.0
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError, match="negative"):
+            clock.advance(-1.0)
+
+    def test_advance_to_absolute(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_allowed(self):
+        clock = SimClock(start=10.0)
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(9.0)

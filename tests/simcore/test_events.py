@@ -1,0 +1,84 @@
+import pytest
+
+from repro.simcore import EventQueue, SimClock
+
+
+@pytest.fixture
+def queue():
+    return EventQueue(SimClock())
+
+
+class TestEventQueue:
+    def test_schedule_and_run(self, queue):
+        fired = []
+        queue.schedule_at(5.0, lambda: fired.append("a"))
+        assert queue.run_until(10.0) == 1
+        assert fired == ["a"]
+
+    def test_clock_ends_at_run_until_time(self, queue):
+        queue.schedule_at(3.0, lambda: None)
+        queue.run_until(10.0)
+        assert queue.clock.now == 10.0
+
+    def test_events_fire_in_time_order(self, queue):
+        fired = []
+        queue.schedule_at(5.0, lambda: fired.append("late"))
+        queue.schedule_at(2.0, lambda: fired.append("early"))
+        queue.run_until(10.0)
+        assert fired == ["early", "late"]
+
+    def test_same_time_fires_in_insertion_order(self, queue):
+        fired = []
+        for name in ("first", "second", "third"):
+            queue.schedule_at(1.0, lambda n=name: fired.append(n))
+        queue.run_until(1.0)
+        assert fired == ["first", "second", "third"]
+
+    def test_schedule_in_relative(self, queue):
+        queue.clock.advance(4.0)
+        ev = queue.schedule_in(2.0, lambda: None)
+        assert ev.time == 6.0
+
+    def test_schedule_in_past_rejected(self, queue):
+        queue.clock.advance(5.0)
+        with pytest.raises(ValueError, match="past"):
+            queue.schedule_at(1.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self, queue):
+        fired = []
+        ev = queue.schedule_at(2.0, lambda: fired.append("x"))
+        ev.cancel()
+        assert queue.run_until(5.0) == 0
+        assert fired == []
+
+    def test_len_excludes_cancelled(self, queue):
+        e1 = queue.schedule_at(1.0, lambda: None)
+        queue.schedule_at(2.0, lambda: None)
+        e1.cancel()
+        assert len(queue) == 1
+
+    def test_events_only_fire_within_window(self, queue):
+        fired = []
+        queue.schedule_at(1.0, lambda: fired.append("in"))
+        queue.schedule_at(20.0, lambda: fired.append("out"))
+        queue.run_until(10.0)
+        assert fired == ["in"]
+        assert queue.peek_time() == 20.0
+
+    def test_step_advances_clock_to_event(self, queue):
+        queue.schedule_at(7.0, lambda: None)
+        ev = queue.step()
+        assert ev is not None and queue.clock.now == 7.0
+
+    def test_step_on_empty_returns_none(self, queue):
+        assert queue.step() is None
+
+    def test_event_scheduling_event(self, queue):
+        """Events may schedule further events that fire in the same run."""
+        fired = []
+        def outer():
+            fired.append("outer")
+            queue.schedule_in(1.0, lambda: fired.append("inner"))
+        queue.schedule_at(1.0, outer)
+        queue.run_until(5.0)
+        assert fired == ["outer", "inner"]

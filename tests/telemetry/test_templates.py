@@ -1,0 +1,88 @@
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.templates import (
+    WILDCARD, TemplateMiner, similarity, tokenize,
+)
+import pytest
+
+
+class TestTokenize:
+    def test_numbers_masked(self):
+        assert tokenize("request took 42 ms") == ["request", "took",
+                                                  WILDCARD, "ms"]
+
+    def test_percentages_and_ports_masked(self):
+        tokens = tokenize("drop 50% on 9090")
+        assert tokens == ["drop", WILDCARD, "on", WILDCARD]
+
+    def test_words_kept(self):
+        assert tokenize("not authorized on geo-db") == \
+            ["not", "authorized", "on", "geo-db"]
+
+
+class TestSimilarity:
+    def test_identical(self):
+        assert similarity(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_length_mismatch_is_zero(self):
+        assert similarity(["a"], ["a", "b"]) == 0.0
+
+    def test_partial(self):
+        assert similarity(["a", "b", "c", "d"], ["a", "x", "c", "y"]) == 0.5
+
+
+class TestMiner:
+    def test_same_shape_lines_cluster(self):
+        miner = TemplateMiner()
+        miner.add("failed to call geo.find after 10 ms")
+        tmpl = miner.add("failed to call rate.find after 20 ms")
+        assert tmpl.count == 2
+        assert WILDCARD in tmpl.render()
+        assert len(miner.templates) == 1
+
+    def test_template_generalizes_divergent_positions(self):
+        miner = TemplateMiner()
+        miner.add("connect to user-service refused")
+        tmpl = miner.add("connect to text-service refused")
+        assert tmpl.tokens == ["connect", "to", WILDCARD, "refused"]
+
+    def test_distinct_messages_stay_separate(self):
+        miner = TemplateMiner()
+        miner.add("authentication failed for admin user account")
+        miner.add("pod scheduled onto node zero ok")
+        assert len(miner.templates) == 2
+
+    def test_counts_and_top(self):
+        miner = TemplateMiner()
+        for _ in range(5):
+            miner.add("request handled in 3 ms")
+        miner.add("connection refused entirely")
+        (top_template, top_count) = miner.top(1)[0]
+        assert top_count == 5
+
+    def test_fit_iterable(self):
+        miner = TemplateMiner().fit(["a b 1", "a b 2", "c d e"])
+        assert sum(miner.counts().values()) == 3
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            TemplateMiner(similarity_threshold=0.0)
+
+    def test_real_runtime_logs_compress(self, hotel):
+        """Mining the simulator's own error logs should compress heavily:
+        thousands of lines but a handful of templates."""
+        hotel.app.backends["mongodb-geo"].revoke_roles("admin")
+        hotel.driver.run_for(20)
+        lines = [r.message for r in hotel.collector.logs.query(
+            namespace=hotel.app.namespace, level="ERROR")]
+        assert len(lines) > 50
+        miner = TemplateMiner().fit(lines)
+        assert len(miner.templates) <= 5
+
+    @given(st.lists(st.text(alphabet="ab ", min_size=1, max_size=20),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_total_count_equals_lines(self, lines):
+        miner = TemplateMiner().fit(lines)
+        non_empty = [l for l in lines if l.split()]
+        assert sum(miner.counts().values()) == len(non_empty)

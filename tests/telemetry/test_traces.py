@@ -1,0 +1,75 @@
+from repro.telemetry.traces import Span, Trace, TraceStore
+
+
+def make_trace(store, services_status, start=0.0):
+    """Build a linear trace: first service is root, each child nested."""
+    trace = Trace(trace_id=store.new_trace_id())
+    parent = None
+    for svc, status in services_status:
+        span = Span(
+            span_id=store.new_span_id(), trace_id=trace.trace_id,
+            parent_id=parent, service=svc, operation="op",
+            start=start, duration_ms=1.0, status=status,
+        )
+        trace.spans.append(span)
+        parent = span.span_id
+    store.add(trace)
+    return trace
+
+
+class TestTrace:
+    def test_root_is_parentless_span(self):
+        store = TraceStore()
+        trace = make_trace(store, [("a", "OK"), ("b", "OK")])
+        assert trace.root.service == "a"
+
+    def test_has_error(self):
+        store = TraceStore()
+        trace = make_trace(store, [("a", "OK"), ("b", "ERROR")])
+        assert trace.has_error
+
+    def test_error_services_deepest_first(self):
+        store = TraceStore()
+        trace = make_trace(store, [("a", "ERROR"), ("b", "ERROR"),
+                                   ("c", "ERROR")])
+        assert trace.error_services() == ["c", "b", "a"]
+
+    def test_to_dict_roundtrip_fields(self):
+        store = TraceStore()
+        trace = make_trace(store, [("a", "OK")])
+        d = trace.to_dict()
+        assert d["traceID"] == trace.trace_id
+        assert d["spans"][0]["serviceName"] == "a"
+
+
+class TestTraceStore:
+    def test_ids_unique(self):
+        store = TraceStore()
+        ids = {store.new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_query_time_window(self):
+        store = TraceStore()
+        make_trace(store, [("a", "OK")], start=1.0)
+        make_trace(store, [("a", "OK")], start=10.0)
+        assert len(store.query(since=5.0)) == 1
+        assert len(store.query(until=5.0)) == 1
+
+    def test_query_only_errors(self):
+        store = TraceStore()
+        make_trace(store, [("a", "OK")])
+        make_trace(store, [("a", "ERROR")])
+        assert len(store.query(only_errors=True)) == 1
+
+    def test_error_rate_by_service(self):
+        store = TraceStore()
+        make_trace(store, [("a", "OK"), ("b", "ERROR")])
+        make_trace(store, [("a", "OK"), ("b", "OK")])
+        rates = store.error_rate_by_service()
+        assert rates["b"] == 0.5 and rates["a"] == 0.0
+
+    def test_capacity_eviction(self):
+        store = TraceStore(capacity=50)
+        for _ in range(80):
+            make_trace(store, [("a", "OK")])
+        assert len(store) <= 80

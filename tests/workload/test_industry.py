@@ -1,0 +1,57 @@
+from repro.workload import ConstantRate, WorkloadDriver
+from repro.workload.industry import (
+    batch_processing_window, ecommerce_day, incident_ramp,
+)
+
+
+class TestEcommerceDay:
+    def test_covers_full_day(self):
+        trace = ecommerce_day(seed=1)
+        assert trace.points[0][0] == 0.0
+        assert trace.points[-1][0] < 86_400.0
+
+    def test_rates_nonnegative(self):
+        trace = ecommerce_day(seed=1)
+        assert all(r >= 0 for _, r in trace.points)
+
+    def test_evening_peak_exceeds_night_trough(self):
+        trace = ecommerce_day(seed=1, burst_rate=0.0)
+        night = trace.rate(4 * 3600.0)
+        evening = trace.rate(20 * 3600.0)
+        assert evening > night * 1.5
+
+    def test_deterministic_per_seed(self):
+        assert ecommerce_day(seed=5).points == ecommerce_day(seed=5).points
+        assert ecommerce_day(seed=5).points != ecommerce_day(seed=6).points
+
+
+class TestBatchWindow:
+    def test_batch_window_dominates(self):
+        trace = batch_processing_window(seed=1)
+        assert trace.rate(4_000.0) > trace.rate(100.0) * 5
+
+    def test_quiet_after_window(self):
+        trace = batch_processing_window(seed=1)
+        assert trace.rate(6_500.0) < 40.0
+
+
+class TestIncidentRamp:
+    def test_base_before_ramp(self):
+        trace = incident_ramp()
+        assert trace.rate(60.0) == 60.0
+
+    def test_full_factor_after_ramp(self):
+        trace = incident_ramp()
+        assert trace.rate(500.0) == 60.0 * 5.0
+
+    def test_monotone_during_ramp(self):
+        trace = incident_ramp()
+        rates = [trace.rate(t) for t in range(120, 300, 15)]
+        assert rates == sorted(rates)
+
+    def test_drivable(self, hotel):
+        """An industry trace must plug straight into the driver."""
+        driver = WorkloadDriver(hotel.runtime, hotel.app.workload_mix(),
+                                incident_ramp(base=10.0), seed=1)
+        stats = driver.run_for(30)
+        assert stats.requests > 0

@@ -1,0 +1,75 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload import (
+    BurstRate, ConstantRate, DiurnalRate, ReplayTrace, SpikeRate,
+)
+
+
+class TestConstantRate:
+    def test_constant(self):
+        policy = ConstantRate(50.0)
+        assert policy.rate(0) == policy.rate(1e6) == 50.0
+
+    def test_negative_rejected_on_use(self):
+        with pytest.raises(ValueError):
+            ConstantRate(-1.0).rate(0)
+
+
+class TestDiurnalRate:
+    def test_base_at_period_boundaries(self):
+        policy = DiurnalRate(base=100, amplitude=0.5, period=100.0)
+        assert policy.rate(0) == pytest.approx(100.0)
+        assert policy.rate(100.0) == pytest.approx(100.0)
+
+    def test_peak_at_quarter_period(self):
+        policy = DiurnalRate(base=100, amplitude=0.5, period=100.0)
+        assert policy.rate(25.0) == pytest.approx(150.0)
+
+    def test_never_negative(self):
+        policy = DiurnalRate(base=10, amplitude=2.0, period=100.0)
+        assert all(policy.rate(t) >= 0 for t in range(0, 100, 5))
+
+    @given(st.floats(min_value=0, max_value=1e5))
+    @settings(max_examples=50)
+    def test_bounded_by_amplitude(self, t):
+        policy = DiurnalRate(base=100, amplitude=0.3, period=3600)
+        assert 70.0 - 1e-6 <= policy.rate(t) <= 130.0 + 1e-6
+
+
+class TestBurstRate:
+    def test_burst_window(self):
+        policy = BurstRate(base=10, burst_factor=4, interval=100,
+                           burst_duration=10)
+        assert policy.rate(5) == 40.0
+        assert policy.rate(50) == 10.0
+
+    def test_burst_recurs(self):
+        policy = BurstRate(base=10, burst_factor=4, interval=100,
+                           burst_duration=10)
+        assert policy.rate(105) == 40.0
+
+
+class TestSpikeRate:
+    def test_spike_only_in_window(self):
+        policy = SpikeRate(base=10, spike_factor=10, at=60, duration=5)
+        assert policy.rate(59) == 10.0
+        assert policy.rate(60) == 100.0
+        assert policy.rate(64.9) == 100.0
+        assert policy.rate(65) == 10.0
+
+
+class TestReplayTrace:
+    def test_step_function(self):
+        policy = ReplayTrace(points=[(0, 10), (50, 100), (80, 20)])
+        assert policy.rate(0) == 10
+        assert policy.rate(49) == 10
+        assert policy.rate(50) == 100
+        assert policy.rate(200) == 20
+
+    def test_before_first_point(self):
+        policy = ReplayTrace(points=[(10, 5)])
+        assert policy.rate(0) == 0.0
+
+    def test_empty_trace(self):
+        assert ReplayTrace().rate(100) == 0.0
