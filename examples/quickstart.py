@@ -1,9 +1,9 @@
-"""Quickstart — the paper's Examples 2.1 and 2.3 in one script.
+"""Quickstart — the paper's Examples 2.1 and 2.3 on the v2 session API.
 
 Defines the Kubernetes target-port misconfiguration problem on the
 SocialNetwork application, onboards a minimal custom agent (a thin wrapper
-around a model backend, ~15 lines), runs the session through the
-Orchestrator, and prints the evaluation.
+around a model backend, ~15 lines), runs the session through an
+Orchestrator session handle, and prints the evaluation.
 
 Run:  python examples/quickstart.py
 """
@@ -41,15 +41,18 @@ class Agent:
 
 
 def main():
-    orch = Orchestrator(seed=42)
-    prob_desc, instructs, apis = orch.init_problem(K8STargetPortMisconf())
+    orch = Orchestrator()
+    # create_session deploys the app, warms it up, and injects the fault in
+    # a private environment; the handle's context carries the problem
+    # description, interaction instructions, and registry-rendered API docs.
+    handle = orch.create_session(K8STargetPortMisconf(), seed=42)
 
-    agent = Agent(prob_desc, instructs, apis)
-    orch.register_agent(agent, name="myAgent")
-    results = asyncio.run(orch.start_problem(max_steps=10))
+    agent = Agent(*handle.context)
+    handle.bind_agent(agent, name="myAgent")
+    results = asyncio.run(handle.run(max_steps=10))
 
     print("=== trajectory ===")
-    print(orch.session.transcript())
+    print(handle.session.transcript())
     print("\n=== evaluation ===")
     for key in ("pid", "success", "success@1", "success@3", "TTL", "steps"):
         print(f"  {key}: {results.get(key)}")

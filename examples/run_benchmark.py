@@ -5,7 +5,7 @@ This regenerates the paper's evaluation section end to end: Tables 3,
 false-positive probe.  Expect ~5–10 minutes of wall time for the full
 suite; pass ``--quick`` to use a reduced problem subset.
 
-Run:  python examples/run_benchmark.py [--quick] [--seed N]
+Run:  python examples/run_benchmark.py [--quick] [--seed N] [--concurrency N]
 """
 
 import argparse
@@ -34,9 +34,13 @@ def main():
     ap.add_argument("--quick", action="store_true",
                     help="reduced problem subset")
     ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--concurrency", type=int, default=4,
+                    help="sessions in flight at once (results are "
+                         "identical at any level)")
     args = ap.parse_args()
 
-    runner = BenchmarkRunner(max_steps=20, seed=args.seed)
+    runner = BenchmarkRunner(max_steps=20, seed=args.seed,
+                             concurrency=args.concurrency)
     pids = QUICK_PIDS if args.quick else None
 
     headers, rows = table2_problem_pool()

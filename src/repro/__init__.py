@@ -5,14 +5,34 @@ Enabling Autonomous Clouds* (MLSys 2025).  Top-level re-exports cover the
 public workflow: define or pick a problem, orchestrate an agent against the
 deployed environment, evaluate.
 
->>> from repro import Orchestrator, LocalizationTask
->>> orch = Orchestrator(seed=0)
->>> ctx = orch.init_problem(LocalizationTask("TargetPortMisconfig"))
+Session-centric v2 API — each session owns its environment, so any number
+can run concurrently::
+
+    >>> from repro import Orchestrator, LocalizationTask
+    >>> orch = Orchestrator()
+    >>> handle = orch.create_session(
+    ...     LocalizationTask("TargetPortMisconfig"), seed=0)
+    >>> agent = MyAgent(*handle.context)      # (description, instructions,
+    ...                                       #  api_docs) from the registry
+    >>> result = handle.bind_agent(agent).run_sync(max_steps=10)
+
+Batches fan out under an asyncio semaphore with results independent of the
+concurrency level::
+
+    >>> from repro import SessionSpec, run_sessions_sync
+    >>> outcomes = run_sessions_sync(
+    ...     [SessionSpec(pid, agent_factory("react"), seed=i)
+    ...      for i, pid in enumerate(benchmark_pids())],
+    ...     concurrency=8)
+
+The seed's ``init_problem`` → ``register_agent`` → ``start_problem`` flow
+still works as a thin shim over one implicit session and is deprecated.
 """
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 from repro.core import (
+    ActionRegistry,
     AnalysisTask,
     CloudEnvironment,
     DetectionTask,
@@ -20,12 +40,19 @@ from repro.core import (
     LlmJudge,
     LocalizationTask,
     MitigationTask,
+    Observation,
     Orchestrator,
     Problem,
+    SessionHandle,
+    SessionOutcome,
+    SessionSpec,
     TaskActions,
+    action,
+    run_sessions,
+    run_sessions_sync,
 )
 from repro.apps import HotelReservation, SocialNetwork
-from repro.agents import AGENT_NAMES, build_agent
+from repro.agents import AGENT_NAMES, agent_factory, build_agent
 from repro.problems import benchmark_pids, get_problem, list_problems
 from repro.workload import Wrk
 
@@ -39,6 +66,7 @@ from repro.faults import (  # noqa: F401  (re-export)
 
 __all__ = [
     "__version__",
+    "ActionRegistry",
     "AnalysisTask",
     "CloudEnvironment",
     "DetectionTask",
@@ -46,12 +74,20 @@ __all__ = [
     "LlmJudge",
     "LocalizationTask",
     "MitigationTask",
+    "Observation",
     "Orchestrator",
     "Problem",
+    "SessionHandle",
+    "SessionOutcome",
+    "SessionSpec",
     "TaskActions",
+    "action",
+    "run_sessions",
+    "run_sessions_sync",
     "HotelReservation",
     "SocialNetwork",
     "AGENT_NAMES",
+    "agent_factory",
     "build_agent",
     "benchmark_pids",
     "get_problem",

@@ -20,7 +20,13 @@ from repro.agents.base import AgentBase
 from repro.agents.gpt_shell import GptWithShellAgent
 from repro.agents.react import ReactAgent
 from repro.agents.flash import FlashAgent
-from repro.agents.registry import AGENT_NAMES, build_agent, registration_loc
+from repro.agents.registry import (
+    AGENT_NAMES,
+    agent_factory,
+    build_agent,
+    build_agent_for,
+    registration_loc,
+)
 
 __all__ = [
     "LLMBackend",
@@ -36,6 +42,8 @@ __all__ = [
     "ReactAgent",
     "FlashAgent",
     "AGENT_NAMES",
+    "agent_factory",
     "build_agent",
+    "build_agent_for",
     "registration_loc",
 ]

@@ -38,6 +38,27 @@ def build_agent(name: str, prob_desc: str, instructs: str, apis: str,
                     profile=name, seed=seed)
 
 
+def build_agent_for(name: str, context, task_type: str,
+                    seed: int = 0) -> AgentBase:
+    """Instantiate a registered agent from a v2 ``SessionContext``.
+
+    ``context`` is anything that unpacks as (description, instructions,
+    api_docs) — the object ``Orchestrator.create_session`` hands back on
+    its handle.
+    """
+    prob_desc, instructs, apis = context
+    return build_agent(name, prob_desc, instructs, apis, task_type, seed=seed)
+
+
+def agent_factory(name: str):
+    """An :data:`repro.core.batch.AgentFactory` for one registered agent —
+    the glue between the agent registry and ``SessionSpec``."""
+    def factory(context, task_type: str, seed: int) -> AgentBase:
+        return build_agent_for(name, context, task_type, seed=seed)
+    factory.__name__ = f"agent_factory_{name}"
+    return factory
+
+
 def registration_loc(name: str) -> int:
     """Lines of code to register the agent in the framework (Table 3's LoC).
 

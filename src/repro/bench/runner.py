@@ -1,14 +1,23 @@
-"""Suite runner: agents × problems → per-case results plus trajectories."""
+"""Suite runner: agents × problems → per-case results plus trajectories.
+
+Built on the v2 batch executor: every case is one independent
+:class:`~repro.core.batch.SessionSpec` whose seed derives from
+``(seed, agent, pid)``, so ``run_suite(concurrency=4)`` produces results
+bit-identical to the serial run — concurrency only changes scheduling.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
-from repro.agents.registry import AGENT_NAMES, build_agent, task_type_of
-from repro.core.orchestrator import Orchestrator
+from repro.agents.registry import AGENT_NAMES, agent_factory
+from repro.core.batch import SessionOutcome, SessionSpec, run_sessions_sync
 from repro.core.session import Session
-from repro.problems import benchmark_pids, get_problem
+from repro.problems import benchmark_pids
+
+_SUMMARY_KEYS = ("pid", "task_type", "agent", "success", "duration_s",
+                 "steps", "input_tokens", "output_tokens")
 
 
 @dataclass
@@ -58,73 +67,110 @@ class BenchmarkRunner:
         Step limit per session (paper default 20; Figure 5 sweeps it).
     seed:
         Root seed; case seeds derive from (seed, agent, pid) so every case
-        is independently reproducible.
+        is independently reproducible — at any concurrency level.
+    concurrency:
+        How many sessions run in flight at once (default 1 = serial).
+        Results are independent of this value.
     """
 
-    def __init__(self, max_steps: int = 20, seed: int = 0) -> None:
+    def __init__(self, max_steps: int = 20, seed: int = 0,
+                 concurrency: int = 1) -> None:
         self.max_steps = max_steps
         self.seed = seed
+        self.concurrency = concurrency
 
     def _case_seed(self, agent: str, pid: str) -> int:
         import hashlib
         digest = hashlib.sha256(f"{self.seed}:{agent}:{pid}".encode()).digest()
         return int.from_bytes(digest[:4], "little")
 
-    def run_case(self, agent_name: str, pid: str,
-                 max_steps: Optional[int] = None) -> CaseResult:
-        """Run one agent on one problem in a fresh environment."""
+    # ------------------------------------------------------------------
+    def _case_spec(self, agent_name: str, pid: str,
+                   max_steps: Optional[int] = None) -> SessionSpec:
         case_seed = self._case_seed(agent_name, pid)
-        orch = Orchestrator(seed=case_seed)
-        prob_desc, instructs, apis = orch.init_problem(get_problem(pid))
-        task = task_type_of(pid)
-        agent = build_agent(agent_name, prob_desc, instructs, apis, task,
-                            seed=case_seed)
-        orch.register_agent(agent, name=agent_name)
-        res = orch.run_problem(max_steps=max_steps or self.max_steps)
-        details = {k: v for k, v in res.items()
-                   if k not in ("pid", "task_type", "agent", "success",
-                                "duration_s", "steps", "input_tokens",
-                                "output_tokens")}
+        return SessionSpec(
+            problem=pid,
+            agent=agent_factory(agent_name),
+            agent_name=agent_name,
+            seed=case_seed,
+            max_steps=max_steps or self.max_steps,
+        )
+
+    @staticmethod
+    def _case_result(outcome: SessionOutcome) -> CaseResult:
+        if outcome.error is not None:
+            raise outcome.error
+        res = outcome.result
+        details = {k: v for k, v in res.items() if k not in _SUMMARY_KEYS}
         return CaseResult(
-            agent=agent_name, pid=pid, task_type=task,
+            agent=outcome.spec.agent_name, pid=res["pid"],
+            task_type=res["task_type"],
             success=bool(res["success"]), duration_s=res["duration_s"],
             steps=res["steps"], input_tokens=res["input_tokens"],
             output_tokens=res["output_tokens"], details=details,
-            session=orch.session,
+            session=outcome.session,
         )
+
+    def _run_specs(self, specs: Sequence[SessionSpec],
+                   concurrency: Optional[int] = None,
+                   verbose: bool = False) -> list[CaseResult]:
+        progress = None
+        if verbose:
+            def progress(outcome):
+                mark = "+" if outcome.result.get("success") else "-"
+                print(f"[{mark}] {outcome.spec.agent_name:16s} "
+                      f"{outcome.result['pid']}")
+        # fail_fast: a crashing case aborts the suite immediately (the
+        # seed's serial semantics) instead of after the whole batch;
+        # release_handles: keep trajectories, drop environments as cases
+        # finish so a 288-case suite never holds 288 live envs.
+        outcomes = run_sessions_sync(
+            specs,
+            concurrency=self.concurrency if concurrency is None else concurrency,
+            fail_fast=True, release_handles=True, progress=progress)
+        return [self._case_result(o) for o in outcomes]
+
+    # ------------------------------------------------------------------
+    def run_case(self, agent_name: str, pid: str,
+                 max_steps: Optional[int] = None) -> CaseResult:
+        """Run one agent on one problem in a fresh environment."""
+        return self._run_specs(
+            [self._case_spec(agent_name, pid, max_steps)], concurrency=1)[0]
 
     def run_suite(
         self,
         agents: Sequence[str] = AGENT_NAMES,
         pids: Optional[Iterable[str]] = None,
         verbose: bool = False,
+        concurrency: Optional[int] = None,
     ) -> SuiteResults:
         """Run every agent on every problem (288 cases at paper scale
-        counting the two non-LLM localization/detection baselines)."""
-        results = SuiteResults()
-        for agent in agents:
-            for pid in (list(pids) if pids is not None else benchmark_pids()):
-                case = self.run_case(agent, pid)
-                results.cases.append(case)
-                if verbose:  # pragma: no cover - console nicety
-                    mark = "+" if case.success else "-"
-                    print(f"[{mark}] {agent:16s} {pid}")
-        return results
+        counting the two non-LLM localization/detection baselines).
+
+        ``concurrency`` overrides the runner default for this call.
+        """
+        pid_list = list(pids) if pids is not None else benchmark_pids()
+        specs = [self._case_spec(agent, pid)
+                 for agent in agents for pid in pid_list]
+        return SuiteResults(
+            cases=self._run_specs(specs, concurrency, verbose))
 
     def sweep_step_limit(
         self,
         limits: Sequence[int] = (3, 5, 10, 15, 20),
         agents: Sequence[str] = AGENT_NAMES,
         pids: Optional[Iterable[str]] = None,
+        concurrency: Optional[int] = None,
     ) -> dict[str, dict[int, float]]:
         """Figure 5: accuracy as a function of the step limit K."""
-        out: dict[str, dict[int, float]] = {a: {} for a in agents}
         pid_list = list(pids) if pids is not None else benchmark_pids()
-        for limit in limits:
-            for agent in agents:
-                wins = 0
-                for pid in pid_list:
-                    case = self.run_case(agent, pid, max_steps=limit)
-                    wins += case.success
-                out[agent][limit] = wins / len(pid_list)
+        grid = [(limit, agent) for limit in limits for agent in agents]
+        specs = [self._case_spec(agent, pid, max_steps=limit)
+                 for limit, agent in grid for pid in pid_list]
+        cases = self._run_specs(specs, concurrency)
+        out: dict[str, dict[int, float]] = {a: {} for a in agents}
+        it = iter(cases)
+        for limit, agent in grid:
+            wins = sum(next(it).success for _ in pid_list)
+            out[agent][limit] = wins / len(pid_list)
         return out

@@ -5,8 +5,9 @@ Commands
 * ``list-problems [--task T] [--include-noop]`` — enumerate the pool;
 * ``run-problem PID --agent NAME [--max-steps N] [--seed N] [--save PATH]``
   — run one session and print the trajectory + evaluation;
-* ``run-benchmark [--agents a,b] [--task T] [--seed N]`` — run a suite and
-  print Table 3 / Table 4;
+* ``run-benchmark [--agents a,b] [--task T] [--seed N] [--concurrency N]``
+  — run a suite (optionally N sessions in flight) and print Table 3 /
+  Table 4;
 * ``show-pool`` — print Table 2.
 """
 
@@ -57,9 +58,14 @@ def _cmd_run_benchmark(args) -> int:
     )
     from repro.problems import list_problems
 
+    if args.concurrency < 1:
+        print(f"error: --concurrency must be >= 1, got {args.concurrency}",
+              file=sys.stderr)
+        return 2
     agents = args.agents.split(",") if args.agents else list(AGENT_NAMES)
     pids = list_problems(args.task) if args.task else None
-    runner = BenchmarkRunner(max_steps=args.max_steps, seed=args.seed)
+    runner = BenchmarkRunner(max_steps=args.max_steps, seed=args.seed,
+                             concurrency=args.concurrency)
     results = runner.run_suite(agents=agents, pids=pids, verbose=True)
     headers, rows = table3_overall(results, agents=agents)
     print()
@@ -115,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
                                       "analysis", "mitigation"))
     p.add_argument("--max-steps", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--concurrency", type=int, default=1,
+                   help="sessions in flight at once (results are "
+                        "identical at any level)")
     p.set_defaults(func=_cmd_run_benchmark)
 
     p = sub.add_parser("make-report",

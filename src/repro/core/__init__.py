@@ -2,19 +2,25 @@
 
 * :class:`CloudEnvironment` — one deployed app + cluster + telemetry +
   workload, on a shared virtual clock.
-* :class:`TaskActions` (ACI) — the concise, documented API surface agents
-  act through (``get_logs``, ``get_metrics``, ``get_traces``,
-  ``exec_shell``, ``submit``).
+* :class:`TaskActions` (ACI) — the documented action surface agents act
+  through.  Actions are registered with the :func:`action` decorator,
+  collected into an :class:`ActionRegistry` (per-task surfaces, e.g.
+  mitigation-only actions), and return structured :class:`Observation`\\ s.
 * :class:`Problem` and the four task interfaces (Detection / Localization /
   Analysis / Mitigation) — the ⟨T, C, S⟩ tuple of §2.1.
-* :class:`Orchestrator` — session management: ``init_problem`` →
-  ``register_agent`` → ``start_problem(max_steps)``; polls the agent's
-  ``get_action``, executes actions, feeds back observations, and evaluates
-  the final submission.
+* :class:`Orchestrator` — session management, v2: ``create_session(problem,
+  agent, seed=...)`` returns a :class:`SessionHandle` owning its own
+  environment; ``await handle.run(max_steps)`` drives the loop.  The seed's
+  ``init_problem`` → ``register_agent`` → ``start_problem`` flow remains as
+  a back-compat shim.
+* :func:`run_sessions` — the concurrent batch executor: fan independent
+  :class:`SessionSpec`\\ s out under a semaphore with deterministic,
+  spec-ordered results.
 """
 
 from repro.core.env import CloudEnvironment
-from repro.core.aci import TaskActions, extract_api_docs
+from repro.core.actions import ActionRegistry, ActionSpec, Observation, action
+from repro.core.aci import TaskActions, extract_api_docs, registry_for
 from repro.core.problem import (
     Problem,
     DetectionTask,
@@ -23,7 +29,18 @@ from repro.core.problem import (
     MitigationTask,
 )
 from repro.core.session import Session, Step
-from repro.core.orchestrator import Orchestrator
+from repro.core.orchestrator import (
+    Orchestrator,
+    SessionContext,
+    SessionHandle,
+    run_coroutine_sync,
+)
+from repro.core.batch import (
+    SessionOutcome,
+    SessionSpec,
+    run_sessions,
+    run_sessions_sync,
+)
 from repro.core.evaluator import Evaluator, system_healthy
 from repro.core.judge import LlmJudge
 from repro.core.lifecycle import IncidentLifecycle, LifecycleResult, StageResult
@@ -37,8 +54,13 @@ __all__ = [
     "save_all",
     "save_session",
     "CloudEnvironment",
+    "ActionRegistry",
+    "ActionSpec",
+    "Observation",
+    "action",
     "TaskActions",
     "extract_api_docs",
+    "registry_for",
     "Problem",
     "DetectionTask",
     "LocalizationTask",
@@ -47,6 +69,13 @@ __all__ = [
     "Session",
     "Step",
     "Orchestrator",
+    "SessionContext",
+    "SessionHandle",
+    "run_coroutine_sync",
+    "SessionOutcome",
+    "SessionSpec",
+    "run_sessions",
+    "run_sessions_sync",
     "Evaluator",
     "system_healthy",
     "LlmJudge",

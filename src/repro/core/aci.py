@@ -1,19 +1,24 @@
 """The Agent-Cloud Interface (§2.2.1): the actions agents can take.
 
-Each public method on :class:`TaskActions` is one valid agent action.  On
-problem initialization the Orchestrator extracts these docstrings and hands
-them to the agent as its API documentation (`extract_api_docs`), exactly as
-Example 2.2 of the paper describes.
+Each :func:`~repro.core.actions.action`-decorated method on
+:class:`TaskActions` is one valid agent action.  On session creation the
+Orchestrator builds an :class:`~repro.core.actions.ActionRegistry` over this
+class (narrowed to the problem's task type) and auto-renders the agent's API
+documentation from it, exactly as Example 2.2 of the paper describes.
+
+Every action returns a structured :class:`~repro.core.actions.Observation`:
+the agent sees ``observation.text``; benchmark analytics and judges get the
+machine-readable ``payload`` and the exported ``artifacts`` paths.
 """
 
 from __future__ import annotations
 
-import inspect
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.env import CloudEnvironment
 
+from repro.core.actions import ActionRegistry, Observation, action
 from repro.core.shell import ShellExecutor
 
 
@@ -40,8 +45,9 @@ class TaskActions:
     # ------------------------------------------------------------------
     # telemetry
     # ------------------------------------------------------------------
+    @action
     def get_logs(self, namespace: str, service: str,
-                 tail: int = 20) -> str:
+                 tail: int = 20) -> Observation:
         """
         Collects recent application logs for a service (via the log pipeline).
 
@@ -55,28 +61,46 @@ class TaskActions:
         """
         ns = namespace or self.env.namespace
         if ns not in self.env.cluster.namespaces:
-            return f"Error: Your service/namespace does not exist: {ns}"
+            return Observation.error(
+                f"Error: Your service/namespace does not exist: {ns}",
+                namespace=ns)
         path = self.env.exporter.export_logs(ns)
         if service in ("all", "*", ""):
             counts = self.env.collector.logs.error_counts(ns)
             if not counts:
-                return (f"Saved logs to {path}. No ERROR-level log lines "
-                        f"found in namespace {ns}.")
+                return Observation(
+                    f"Saved logs to {path}. No ERROR-level log lines "
+                    f"found in namespace {ns}.",
+                    artifacts=(str(path),),
+                    payload={"namespace": ns, "error_counts": {}})
             summary = "\n".join(
                 f"  {svc}: {n} ERROR lines"
                 for svc, n in sorted(counts.items(), key=lambda kv: -kv[1])
             )
-            return f"Saved logs to {path}. ERROR lines per service:\n{summary}"
+            return Observation(
+                f"Saved logs to {path}. ERROR lines per service:\n{summary}",
+                artifacts=(str(path),),
+                payload={"namespace": ns, "error_counts": dict(counts)})
         known = self.env.collector.logs.services_seen(ns) | set(self.env.app.services)
         if service not in known:
-            return f"Error: Your service/namespace does not exist: {service}"
+            return Observation.error(
+                f"Error: Your service/namespace does not exist: {service}",
+                namespace=ns, service=service)
         text = self.env.collector.logs.tail_service(ns, service, tail)
         if not text:
-            return (f"Saved logs to {path}. Service {service} has produced "
-                    f"no log lines yet.")
-        return f"Saved logs to {path}. Last lines of {service}:\n{text}"
+            return Observation(
+                f"Saved logs to {path}. Service {service} has produced "
+                f"no log lines yet.",
+                artifacts=(str(path),),
+                payload={"namespace": ns, "service": service, "lines": []})
+        return Observation(
+            f"Saved logs to {path}. Last lines of {service}:\n{text}",
+            artifacts=(str(path),),
+            payload={"namespace": ns, "service": service,
+                     "lines": text.splitlines()})
 
-    def get_metrics(self, namespace: str, duration: int = 5) -> str:
+    @action
+    def get_metrics(self, namespace: str, duration: int = 5) -> Observation:
         """
         Collects service metrics (CPU, memory, request/error rates) from the
         monitoring stack for the last `duration` minutes.
@@ -89,7 +113,9 @@ class TaskActions:
         """
         ns = namespace or self.env.namespace
         if ns not in self.env.cluster.namespaces:
-            return f"Error: Your service/namespace does not exist: {ns}"
+            return Observation.error(
+                f"Error: Your service/namespace does not exist: {ns}",
+                namespace=ns)
         since = max(self.env.clock.now - duration * 60.0, 0.0)
         path = self.env.exporter.export_metrics(since=since)
         store = self.env.collector.metrics
@@ -97,16 +123,26 @@ class TaskActions:
         err = store.snapshot_latest("error_rate")
         cpu = store.snapshot_latest("cpu_usage")
         rate = store.snapshot_latest("request_rate")
+        snapshot = {}
         for svc in sorted(set(err) | set(cpu)):
+            snapshot[svc] = {
+                "cpu_m": cpu.get(svc, 0),
+                "request_rate": rate.get(svc, 0),
+                "error_rate": err.get(svc, 0),
+            }
             lines.append(
                 f"  {svc}: cpu={cpu.get(svc, 0):.0f}m "
                 f"req_rate={rate.get(svc, 0):.1f}/s "
                 f"err_rate={err.get(svc, 0):.2f}/s"
             )
         body = "\n".join(lines) if lines else "  (no samples yet)"
-        return f"Saved metrics to {path}. Latest snapshot:\n{body}"
+        return Observation(
+            f"Saved metrics to {path}. Latest snapshot:\n{body}",
+            artifacts=(str(path),),
+            payload={"namespace": ns, "snapshot": snapshot})
 
-    def get_traces(self, namespace: str, duration: int = 5) -> str:
+    @action
+    def get_traces(self, namespace: str, duration: int = 5) -> Observation:
         """
         Collects trace data of the services from the tracing backend.
 
@@ -118,23 +154,32 @@ class TaskActions:
         """
         ns = namespace or self.env.namespace
         if ns not in self.env.cluster.namespaces:
-            return f"Error: Your service/namespace does not exist: {ns}"
+            return Observation.error(
+                f"Error: Your service/namespace does not exist: {ns}",
+                namespace=ns)
         since = max(self.env.clock.now - duration * 60.0, 0.0)
         path = self.env.exporter.export_traces(since=since)
         rates = self.env.collector.traces.error_rate_by_service(since=since)
         errored = {svc: r for svc, r in rates.items() if r > 0}
         if not errored:
-            return f"Saved traces to {path}. No error spans in the window."
+            return Observation(
+                f"Saved traces to {path}. No error spans in the window.",
+                artifacts=(str(path),),
+                payload={"namespace": ns, "error_rates": {}})
         lines = "\n".join(
             f"  {svc}: {r * 100:.0f}% of spans errored"
             for svc, r in sorted(errored.items(), key=lambda kv: -kv[1])
         )
-        return f"Saved traces to {path}. Services with error spans:\n{lines}"
+        return Observation(
+            f"Saved traces to {path}. Services with error spans:\n{lines}",
+            artifacts=(str(path),),
+            payload={"namespace": ns, "error_rates": errored})
 
     # ------------------------------------------------------------------
     # acting on the environment
     # ------------------------------------------------------------------
-    def exec_shell(self, command: str) -> str:
+    @action
+    def exec_shell(self, command: str) -> Observation:
         """
         Executes a shell command after applying security policy filters.
         kubectl and helm are available; destructive commands are blocked.
@@ -144,9 +189,28 @@ class TaskActions:
         Returns:
             str: Command output or error text.
         """
-        return self.shell.run(command)
+        out = self.shell.run(command)
+        return Observation.of(out)
 
-    def submit(self, solution: object = None) -> str:
+    @action(task_types=("mitigation",))
+    def restart_service(self, service: str) -> Observation:
+        """
+        Restarts one service's deployment (rollout restart) — a common
+        first-line mitigation. Only available on mitigation tasks; on other
+        tasks use the telemetry APIs and submit your answer.
+
+        Args:
+            service (str): The deployment/service name to restart.
+        Returns:
+            str: The rollout output.
+        """
+        out = self.shell.run(
+            f"kubectl rollout restart deployment {service} "
+            f"-n {self.env.namespace}")
+        return Observation.of(out)
+
+    @action
+    def submit(self, solution: object = None) -> Observation:
         """
         Submits the final solution for the current task and ends the session.
         Detection: "yes"/"no". Localization: service name(s), most suspect
@@ -162,20 +226,24 @@ class TaskActions:
         raise SubmissionReceived(solution)
 
 
+#: the registry over the default ACI (all tasks); sessions narrow it
+DEFAULT_REGISTRY = ActionRegistry.from_class(TaskActions)
+
+
+def registry_for(task_type: str = "",
+                 actions_cls: type = TaskActions) -> ActionRegistry:
+    """The action surface for one task type (mitigation sees extra actions)."""
+    if actions_cls is TaskActions:
+        return DEFAULT_REGISTRY.for_task(task_type)
+    return ActionRegistry.from_class(actions_cls, task_type=task_type)
+
+
 def extract_api_docs(actions_cls: type = TaskActions,
                      task_type: str = "") -> str:
     """Build the API documentation block shared with the agent as context.
 
-    Mirrors the paper's behaviour: "the Orchestrator automatically extracts
-    documentation from these APIs to provide as context C to the agent."
+    .. deprecated:: 2.0
+        Thin wrapper kept for the seed API; docs are now auto-rendered from
+        the action registry — use ``registry_for(task).render_docs()``.
     """
-    blocks = []
-    for name, member in inspect.getmembers(actions_cls, inspect.isfunction):
-        if name.startswith("_"):
-            continue
-        sig = inspect.signature(member)
-        params = [p for p in sig.parameters.values() if p.name != "self"]
-        rendered = ", ".join(str(p) for p in params)
-        doc = inspect.getdoc(member) or ""
-        blocks.append(f"{name}({rendered})\n{doc}")
-    return "\n\n".join(blocks)
+    return registry_for(task_type, actions_cls).render_docs()

@@ -1,0 +1,163 @@
+"""Concurrent batch execution of sessions (the v2 fan-out layer).
+
+:func:`run_sessions` drives many independent :class:`SessionHandle`\\ s
+under an ``asyncio.Semaphore``, so a 4-agents × 48-problems suite is no
+longer strictly serial.  Determinism is preserved by construction: each
+spec carries its own seed (derived upstream from ``(seed, agent, pid)``),
+every handle owns a private environment, and results come back in spec
+order regardless of completion order — so any concurrency level produces
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.core.orchestrator import (
+    Orchestrator,
+    SessionContext,
+    SessionHandle,
+    run_coroutine_sync,
+)
+from repro.core.problem import Problem
+from repro.core.session import Session
+
+#: builds the agent once the session's environment (and thus its context)
+#: exists: (context, task_type, seed) -> agent
+AgentFactory = Callable[[SessionContext, str, int], Any]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Everything needed to run one session independently.
+
+    ``agent`` is either a ready agent object (anything with ``get_action``)
+    or an :data:`AgentFactory` called after the environment is set up —
+    factories are the common case, since agent prompts are built from the
+    session context.
+    """
+
+    problem: Union[Problem, str]
+    agent: Union[Any, AgentFactory]
+    agent_name: str = "agent"
+    seed: int = 0
+    max_steps: int = 20
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SessionOutcome:
+    """One spec's result: the evaluation dict and trajectory, plus the
+    handle (env and all) unless the batch released it, or the error that
+    aborted the session."""
+
+    spec: SessionSpec
+    handle: Optional[SessionHandle] = None
+    session: Optional[Session] = None
+    result: Optional[dict] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+
+#: per-completion hook (progress reporting); called in completion order
+ProgressHook = Callable[[SessionOutcome], None]
+
+
+async def _run_one(orch: Optional[Orchestrator], spec: SessionSpec,
+                   semaphore: asyncio.Semaphore,
+                   fail_fast: bool, release_handles: bool,
+                   progress: Optional[ProgressHook]) -> SessionOutcome:
+    outcome = SessionOutcome(spec=spec)
+    async with semaphore:
+        try:
+            if orch is not None:
+                handle = await asyncio.to_thread(
+                    orch.create_session,
+                    spec.problem, seed=spec.seed, agent_name=spec.agent_name)
+            else:  # untracked: the handle (and its env) dies with the case
+                # setup (deploy + warmup + inject) is sync CPU work; run it
+                # off-loop so in-flight sessions keep being serviced.  Each
+                # problem/env is private to its case, so this stays
+                # deterministic.
+                handle = await asyncio.to_thread(
+                    lambda: SessionHandle(
+                        Orchestrator._resolve_problem(spec.problem),
+                        seed=spec.seed, agent_name=spec.agent_name))
+            outcome.handle = handle
+            agent = spec.agent
+            if callable(agent) and not hasattr(agent, "get_action"):
+                agent = agent(handle.context, handle.problem.task_type,
+                              spec.seed)
+            handle.bind_agent(agent, name=spec.agent_name)
+            outcome.result = await handle.run(max_steps=spec.max_steps)
+            outcome.session = handle.session
+            if release_handles:
+                # free the environment as soon as the case is done instead
+                # of pinning every env until the whole batch returns
+                outcome.handle = None
+        except Exception as e:  # isolate failures to their own case
+            if fail_fast:
+                raise
+            outcome.error = e
+        if progress is not None:
+            progress(outcome)
+    return outcome
+
+
+async def run_sessions(specs: Sequence[SessionSpec],
+                       concurrency: int = 4,
+                       orchestrator: Optional[Orchestrator] = None,
+                       fail_fast: bool = False,
+                       release_handles: bool = False,
+                       progress: Optional[ProgressHook] = None,
+                       ) -> list[SessionOutcome]:
+    """Run every spec, at most ``concurrency`` sessions in flight.
+
+    Returns outcomes in spec order.  By default a failing session never
+    takes the batch down — its outcome carries the exception instead;
+    ``fail_fast=True`` propagates the first failure immediately instead of
+    spending the rest of the batch's budget.  ``release_handles=True``
+    drops each handle (environment, telemetry stores) as its case
+    finishes, keeping only the trajectory and result — essential for
+    paper-scale suites where 288 live environments would otherwise
+    coexist.  Passing an ``orchestrator`` additionally tracks every handle
+    on it (``orchestrator.handles``), which pins their environments for
+    the batch's lifetime — leave it None unless you want that.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    semaphore = asyncio.Semaphore(concurrency)
+    tasks = [
+        asyncio.ensure_future(
+            _run_one(orchestrator, spec, semaphore, fail_fast,
+                     release_handles, progress))
+        for spec in specs
+    ]
+    try:
+        return list(await asyncio.gather(*tasks))
+    except BaseException:
+        # fail_fast (or cancellation): don't leave sibling sessions running
+        # in the caller's loop; cancel and drain them before re-raising
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        raise
+
+
+def run_sessions_sync(specs: Sequence[SessionSpec],
+                      concurrency: int = 4,
+                      orchestrator: Optional[Orchestrator] = None,
+                      fail_fast: bool = False,
+                      release_handles: bool = False,
+                      progress: Optional[ProgressHook] = None,
+                      ) -> list[SessionOutcome]:
+    """Synchronous, loop-safe wrapper around :func:`run_sessions`."""
+    return run_coroutine_sync(
+        run_sessions(specs, concurrency=concurrency,
+                     orchestrator=orchestrator, fail_fast=fail_fast,
+                     release_handles=release_handles, progress=progress))

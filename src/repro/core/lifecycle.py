@@ -14,7 +14,7 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.core.aci import SubmissionReceived, TaskActions, extract_api_docs
+from repro.core.aci import SubmissionReceived, TaskActions, registry_for
 from repro.core.env import CloudEnvironment
 from repro.core.evaluator import Evaluator
 from repro.core.parser import ActionParseError, parse_action
@@ -141,7 +141,8 @@ class IncidentLifecycle:
         prob_desc = problem.problem_description(env)
         instructs = ("Interact step by step; one API call per response; "
                      "finish with submit(...).")
-        apis = extract_api_docs()
+        registry = registry_for(stage)
+        apis = registry.render_docs()
         agent = agent_factory(stage, prob_desc, instructs, apis)
 
         session = Session(pid=f"lifecycle-{self.fault_name}-{stage}",
@@ -160,12 +161,14 @@ class IncidentLifecycle:
             step = Step(index=index, time=env.clock.now, action_raw=raw,
                         action_name="", action_args=(), observation="")
             try:
-                parsed = parse_action(raw)
+                parsed = parse_action(raw, registry.names())
                 step.action_name = parsed.name
                 step.action_args = parsed.args
-                step.observation = str(
-                    getattr(actions, parsed.name)(*parsed.args,
-                                                  **parsed.kwargs))
+                obs = registry.execute(
+                    actions, parsed.name, *parsed.args, **parsed.kwargs)
+                step.observation = str(obs)
+                step.payload = obs.payload
+                step.artifacts = obs.artifacts
             except SubmissionReceived as sub:
                 solution = sub.solution
                 session.submitted = True
@@ -198,8 +201,10 @@ class IncidentLifecycle:
         import inspect
 
         if inspect.isawaitable(result):
+            from repro.core.orchestrator import run_coroutine_sync
+
             async def _wrap():
                 return await result
 
-            return asyncio.run(_wrap())
+            return run_coroutine_sync(_wrap())
         return result

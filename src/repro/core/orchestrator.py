@@ -1,12 +1,22 @@
-"""The Orchestrator (§2.2): sessions, the agent loop, and evaluation."""
+"""The Orchestrator (§2.2): sessions, the agent loop, and evaluation.
+
+v2 is session-centric: :meth:`Orchestrator.create_session` returns a
+:class:`SessionHandle` that owns its environment, action registry, and
+trajectory, so any number of sessions can run concurrently from one
+Orchestrator (the batch executor in :mod:`repro.core.batch` fans them out).
+The seed's ``init_problem`` → ``register_agent`` → ``start_problem`` flow
+is kept as a thin back-compat shim over one implicit handle.
+"""
 
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import inspect
-from typing import Any, Optional, Union
+from typing import Any, NamedTuple, Optional, Union
 
-from repro.core.aci import SubmissionReceived, TaskActions, extract_api_docs
+from repro.core.aci import SubmissionReceived, TaskActions, registry_for
+from repro.core.actions import ActionRegistry, Observation
 from repro.core.env import CloudEnvironment
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.parser import ActionParseError, parse_action
@@ -14,76 +24,87 @@ from repro.core.problem import Problem
 from repro.core.session import Session, Step
 
 
-class Orchestrator:
-    """Coordinates agent ↔ cloud interaction for one problem at a time.
+def run_coroutine_sync(coro) -> Any:
+    """Run ``coro`` to completion whether or not a loop is already running.
 
-    Usage (mirrors the paper's Example 2.3)::
+    ``asyncio.run`` crashes inside a running event loop (notebooks, async
+    drivers); in that case the coroutine runs on a fresh loop in a
+    dedicated thread instead.
+    """
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(coro)
+    with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:
+        return pool.submit(asyncio.run, coro).result()
 
-        orch = Orchestrator()
-        prob_desc, instructs, apis = orch.init_problem(problem)
-        orch.register_agent(agent, name="myAgent")
-        result = asyncio.run(orch.start_problem(max_steps=10))
 
-    ``init_problem`` also accepts a problem id string, resolved through
-    :mod:`repro.problems`.
+class SessionContext(NamedTuple):
+    """The context ``C`` shared with the agent (§2.1): description,
+    interaction instructions, and the auto-rendered API docs.
 
-    Parameters
-    ----------
-    seed:
-        Seeds the problem's environment (and thus all derived randomness).
-    step_env_seconds:
-        Fallback virtual seconds per step when an agent reports no latency.
+    A named tuple, so seed-style unpacking/indexing of the old
+    ``(description, instructions, api_docs)`` return value keeps working.
     """
 
-    def __init__(self, seed: int = 0, step_env_seconds: float = 5.0) -> None:
+    description: str
+    instructions: str
+    api_docs: str
+
+
+_INSTRUCTIONS = (
+    "Interact step by step. Each response must be exactly one API "
+    "call. Finish by calling submit(...). You have a limited number "
+    "of steps."
+)
+
+
+class SessionHandle:
+    """One problem instance: environment, action surface, agent, trajectory.
+
+    Handles are independent — two handles never share environment or
+    session state, which is what makes concurrent batch execution safe.
+    Create them via :meth:`Orchestrator.create_session`.
+    """
+
+    def __init__(self, problem: Problem, *, seed: int = 0,
+                 step_env_seconds: float = 5.0,
+                 agent: Any = None, agent_name: str = "agent") -> None:
+        self.problem = problem
         self.seed = seed
         self.step_env_seconds = step_env_seconds
-        self.problem: Optional[Problem] = None
-        self.env: Optional[CloudEnvironment] = None
-        self.actions: Optional[TaskActions] = None
-        self.agent: Any = None
-        self.agent_name: str = "agent"
-        self.session: Optional[Session] = None
-        self.sessions: list[Session] = []
-
-    # ------------------------------------------------------------------
-    def init_problem(
-        self, problem: Union[Problem, str]
-    ) -> tuple[str, str, str]:
-        """Set the problem up (deploy, warm up, inject) and return the
-        context shared with the agent: (description, instructions, API docs)."""
-        if isinstance(problem, str):
-            from repro.problems import get_problem
-            problem = get_problem(problem)
-        self.problem = problem
-        self.env = problem.create_environment(seed=self.seed)
+        self.env: CloudEnvironment = problem.create_environment(seed=seed)
         problem.start_workload(self.env)
         problem.inject_fault(self.env)
         self.actions = TaskActions(self.env)
-        prob_desc = problem.problem_description(self.env)
-        instructs = (
-            "Interact step by step. Each response must be exactly one API "
-            "call. Finish by calling submit(...). You have a limited number "
-            "of steps."
+        self.registry: ActionRegistry = registry_for(problem.task_type)
+        self.context = SessionContext(
+            description=problem.problem_description(self.env),
+            instructions=_INSTRUCTIONS,
+            api_docs=self.registry.render_docs(),
         )
-        apis = extract_api_docs()
-        return prob_desc, instructs, apis
+        self.agent: Any = None
+        self.agent_name = agent_name
+        if agent is not None:
+            self.bind_agent(agent, name=agent_name)
+        self.session: Optional[Session] = None
+        self.result: Optional[dict] = None
 
-    def register_agent(self, agent: Any, name: str = "agent") -> None:
-        """Register the agent; it must implement
+    # ------------------------------------------------------------------
+    def bind_agent(self, agent: Any, name: str = "agent") -> "SessionHandle":
+        """Attach the agent; it must implement
         ``async def get_action(state: str) -> str`` (sync also accepted)."""
         if not hasattr(agent, "get_action"):
             raise TypeError("agent must implement get_action(state) -> str")
         self.agent = agent
         self.agent_name = name
+        return self
 
     # ------------------------------------------------------------------
-    async def start_problem(self, max_steps: int = 20) -> dict:
-        """Run the session loop and return the evaluation results dict."""
-        if self.problem is None or self.env is None or self.actions is None:
-            raise RuntimeError("call init_problem() before start_problem()")
+    async def run(self, max_steps: int = 20) -> dict:
+        """Drive the agent loop to completion and return the evaluation."""
         if self.agent is None:
-            raise RuntimeError("call register_agent() before start_problem()")
+            raise RuntimeError("bind an agent before running the session")
 
         env = self.env
         session = Session(
@@ -92,7 +113,6 @@ class Orchestrator:
             started_at=env.clock.now,
         )
         self.session = session
-        self.sessions.append(session)
 
         state = "Session started. Take your first action."
         solution: Any = None
@@ -107,14 +127,19 @@ class Orchestrator:
                 action_name="", action_args=(), observation="",
             )
             try:
-                parsed = parse_action(raw)
+                parsed = parse_action(raw, self.registry.names())
                 step.action_name = parsed.name
                 step.action_args = parsed.args
-                if parsed.name == "exec_shell" and parsed.args:
-                    tokens = str(parsed.args[0]).split()
+                if parsed.name == "exec_shell":
+                    command = parsed.args[0] if parsed.args \
+                        else parsed.kwargs.get("command", "")
+                    tokens = str(command).split()
                     step.shell_command = tokens[0] if tokens else ""
                 observation = self._execute(parsed)
-                step.observation = observation
+                step.observation = str(observation)
+                if isinstance(observation, Observation):
+                    step.payload = observation.payload
+                    step.artifacts = observation.artifacts
             except SubmissionReceived as sub:
                 solution = sub.solution
                 session.submitted = True
@@ -139,11 +164,12 @@ class Orchestrator:
             result.success = False
             result.details["success"] = False
             result.details.setdefault("reason", "no submission within step limit")
-        return self._result_dict(result)
+        self.result = self._result_dict(result)
+        return self.result
 
-    def run_problem(self, max_steps: int = 20) -> dict:
-        """Synchronous convenience wrapper around :meth:`start_problem`."""
-        return asyncio.run(self.start_problem(max_steps=max_steps))
+    def run_sync(self, max_steps: int = 20) -> dict:
+        """Synchronous convenience wrapper around :meth:`run` (loop-safe)."""
+        return run_coroutine_sync(self.run(max_steps=max_steps))
 
     # ------------------------------------------------------------------
     async def _ask_agent(self, state: str) -> str:
@@ -164,17 +190,21 @@ class Orchestrator:
             return consume()
         return 0, 0, self.step_env_seconds
 
-    def _execute(self, parsed) -> str:
-        method = getattr(self.actions, parsed.name)
+    def _execute(self, parsed) -> Any:
+        # A TypeError raised *inside* an action body must not be confused
+        # with the agent passing bad arguments: bind against the signature
+        # first, and only binding failures get the invalid-arguments hint.
+        bind_error = self.registry.bind_errors(
+            parsed.name, parsed.args, parsed.kwargs)
+        if bind_error is not None:
+            return bind_error
         try:
-            out = method(*parsed.args, **parsed.kwargs)
+            return self.registry.execute(
+                self.actions, parsed.name, *parsed.args, **parsed.kwargs)
         except SubmissionReceived:
             raise
-        except TypeError as e:
-            return (f"Error: invalid arguments for {parsed.name}: {e}")
         except Exception as e:  # surface env errors as feedback, not crashes
             return f"Error: {e}"
-        return str(out)
 
     def _result_dict(self, result: EvaluationResult) -> dict:
         out = {
@@ -189,3 +219,162 @@ class Orchestrator:
         }
         out.update(result.details)
         return out
+
+
+class Orchestrator:
+    """Coordinates agent ↔ cloud interaction (§2.2).
+
+    v2 usage — any number of concurrent sessions::
+
+        orch = Orchestrator(seed=0)
+        handle = orch.create_session(problem, agent, seed=7)
+        result = await handle.run(max_steps=10)      # or handle.run_sync()
+
+    Seed usage (kept as a back-compat shim over one implicit handle)::
+
+        orch = Orchestrator()
+        prob_desc, instructs, apis = orch.init_problem(problem)
+        orch.register_agent(agent, name="myAgent")
+        result = asyncio.run(orch.start_problem(max_steps=10))
+
+    ``init_problem``/``create_session`` also accept a problem id string,
+    resolved through :mod:`repro.problems`.
+
+    Parameters
+    ----------
+    seed:
+        Default seed for sessions that don't pass their own.
+    step_env_seconds:
+        Fallback virtual seconds per step when an agent reports no latency.
+    """
+
+    def __init__(self, seed: int = 0, step_env_seconds: float = 5.0) -> None:
+        self.seed = seed
+        self.step_env_seconds = step_env_seconds
+        self.handles: list[SessionHandle] = []
+        self.sessions: list[Session] = []
+        # back-compat shim state (the seed's one-problem-at-a-time flow)
+        self._shim_handle: Optional[SessionHandle] = None
+        self._shim_agent: Any = None
+        self._shim_agent_name: str = "agent"
+
+    # ------------------------------------------------------------------
+    # v2 API
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_problem(problem: Union[Problem, str]) -> Problem:
+        if isinstance(problem, str):
+            from repro.problems import get_problem
+            return get_problem(problem)
+        return problem
+
+    def create_session(self, problem: Union[Problem, str],
+                       agent: Any = None, *,
+                       seed: Optional[int] = None,
+                       agent_name: str = "agent") -> SessionHandle:
+        """Set a problem up (deploy, warm up, inject) in its own
+        environment and return the session handle that owns it."""
+        handle = SessionHandle(
+            self._resolve_problem(problem),
+            seed=self.seed if seed is None else seed,
+            step_env_seconds=self.step_env_seconds,
+            agent=agent, agent_name=agent_name,
+        )
+        self.handles.append(handle)
+        return handle
+
+    def release(self, handle: SessionHandle) -> None:
+        """Stop tracking a handle so its environment can be reclaimed.
+
+        Handles are tracked in :attr:`handles` for the orchestrator's
+        lifetime otherwise — call this (keeping the handle's ``session``
+        if you need the trajectory) when running many sessions through
+        one long-lived orchestrator."""
+        if handle in self.handles:
+            self.handles.remove(handle)
+        if handle is self._shim_handle:
+            self._shim_handle = None
+
+    # ------------------------------------------------------------------
+    # seed API (back-compat shim)
+    # ------------------------------------------------------------------
+    def init_problem(self, problem: Union[Problem, str]) -> SessionContext:
+        """Set the problem up and return the context shared with the agent.
+
+        .. deprecated:: 2.0
+            Shim over :meth:`create_session`; the returned
+            :class:`SessionContext` still unpacks as the seed's
+            ``(description, instructions, api_docs)`` tuple.
+        """
+        replaced = self._shim_handle
+        self._shim_handle = self.create_session(problem)
+        if replaced is not None and replaced in self.handles:
+            # the seed flow held one problem at a time; don't pin the
+            # replaced handle's environment on the orchestrator
+            self.handles.remove(replaced)
+        if self._shim_agent is not None:
+            self._shim_handle.bind_agent(self._shim_agent,
+                                         self._shim_agent_name)
+        return self._shim_handle.context
+
+    def register_agent(self, agent: Any, name: str = "agent") -> None:
+        """Register the agent for the shim flow (see :meth:`init_problem`)."""
+        if not hasattr(agent, "get_action"):
+            raise TypeError("agent must implement get_action(state) -> str")
+        self._shim_agent = agent
+        self._shim_agent_name = name
+        if self._shim_handle is not None:
+            self._shim_handle.bind_agent(agent, name)
+
+    async def start_problem(self, max_steps: int = 20) -> dict:
+        """Run the shim session loop and return the evaluation results dict."""
+        handle = self._shim_handle
+        if handle is None:
+            raise RuntimeError("call init_problem() before start_problem()")
+        if handle.agent is None:
+            raise RuntimeError("call register_agent() before start_problem()")
+        try:
+            return await handle.run(max_steps=max_steps)
+        finally:
+            # v1 exposed the session from loop start; keep partial
+            # trajectories reachable through orch.sessions on error too
+            if handle.session is not None \
+                    and handle.session not in self.sessions:
+                self.sessions.append(handle.session)
+
+    def run_problem(self, max_steps: int = 20) -> dict:
+        """Synchronous wrapper around :meth:`start_problem`.
+
+        Safe to call from inside a running event loop (notebooks, async
+        drivers): the session then runs on a fresh loop in a worker thread.
+        """
+        return run_coroutine_sync(self.start_problem(max_steps=max_steps))
+
+    # -- shim attribute views (seed code reads these off the instance) ---
+    @property
+    def problem(self) -> Optional[Problem]:
+        return self._shim_handle.problem if self._shim_handle else None
+
+    @property
+    def env(self) -> Optional[CloudEnvironment]:
+        return self._shim_handle.env if self._shim_handle else None
+
+    @property
+    def actions(self) -> Optional[TaskActions]:
+        return self._shim_handle.actions if self._shim_handle else None
+
+    @property
+    def agent(self) -> Any:
+        if self._shim_handle is not None and self._shim_handle.agent is not None:
+            return self._shim_handle.agent
+        return self._shim_agent
+
+    @property
+    def agent_name(self) -> str:
+        if self._shim_handle is not None and self._shim_handle.agent is not None:
+            return self._shim_handle.agent_name
+        return self._shim_agent_name
+
+    @property
+    def session(self) -> Optional[Session]:
+        return self._shim_handle.session if self._shim_handle else None

@@ -11,12 +11,16 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 _CALL_RE = re.compile(r"^\s*(\w+)\s*\((.*)\)\s*$", re.DOTALL)
 
-#: the actions the ACI accepts
-VALID_ACTIONS = ("get_logs", "get_metrics", "get_traces", "exec_shell", "submit")
+#: the default action surface — kept in sync with the full TaskActions
+#: registry (asserted by tests) so the deprecated extract_api_docs() /
+#: parse_action() defaults stay consistent; sessions pass their registry's
+#: names instead, so per-task surfaces parse correctly
+VALID_ACTIONS = ("get_logs", "get_metrics", "get_traces", "exec_shell",
+                 "restart_service", "submit")
 
 
 @dataclass
@@ -32,23 +36,29 @@ class ActionParseError(ValueError):
     """Raised when the agent's output is not a valid ACI call."""
 
 
-def parse_action(text: str) -> ParsedAction:
+def parse_action(text: str,
+                 valid_actions: Sequence[str] = VALID_ACTIONS) -> ParsedAction:
     """Parse one action string; raises :class:`ActionParseError` with an
-    agent-readable message on failure."""
+    agent-readable message on failure.
+
+    ``valid_actions`` is the session's action surface (an
+    :class:`~repro.core.actions.ActionRegistry`'s names); the default is the
+    seed's fixed five-action tuple for back compatibility.
+    """
     if not text or not text.strip():
         raise ActionParseError(
             "Error: empty action. Respond with exactly one API call, e.g. "
             'get_logs("<namespace>", "<service>").')
-    candidate = _extract_call_line(text)
+    candidate = _extract_call_line(text, valid_actions)
     m = _CALL_RE.match(candidate)
     if m is None:
         raise ActionParseError(
             f"Error: could not parse action {candidate[:120]!r}. Respond with "
             f"exactly one API call such as exec_shell(\"kubectl get pods -n ns\").")
     name, arg_str = m.group(1), m.group(2).strip()
-    if name not in VALID_ACTIONS:
+    if name not in valid_actions:
         raise ActionParseError(
-            f'Error: unknown API "{name}". Valid APIs: {", ".join(VALID_ACTIONS)}.')
+            f'Error: unknown API "{name}". Valid APIs: {", ".join(valid_actions)}.')
     args: tuple
     kwargs: dict[str, Any]
     if not arg_str:
@@ -70,7 +80,8 @@ def parse_action(text: str) -> ParsedAction:
     return ParsedAction(name=name, args=args, kwargs=kwargs)
 
 
-def _extract_call_line(text: str) -> str:
+def _extract_call_line(text: str,
+                       valid_actions: Sequence[str] = VALID_ACTIONS) -> str:
     """Pull the API call out of surrounding prose (ReAct-style output)."""
     text = text.strip()
     # strip markdown fences
@@ -79,7 +90,7 @@ def _extract_call_line(text: str) -> str:
         return text
     for line in text.splitlines():
         line = line.strip()
-        for action in VALID_ACTIONS:
+        for action in valid_actions:
             idx = line.find(action + "(")
             if idx >= 0:
                 depth = 0

@@ -15,9 +15,13 @@ class Step:
     action_raw: str          # the string the agent produced
     action_name: str         # parsed API name ("get_logs", "exec_shell", ...)
     action_args: tuple
-    observation: str         # what the environment returned
+    observation: str         # what the environment returned (agent-facing)
     valid: bool = True       # False when the action failed to parse/execute
     shell_command: str = ""  # first token of an exec_shell command, if any
+    #: structured Observation extras (machine-readable result + exported
+    #: artifact paths) for analytics/judges; empty for plain-string actions
+    payload: dict = field(default_factory=dict)
+    artifacts: tuple = ()
 
 
 @dataclass

@@ -42,6 +42,8 @@ def save_session(session: Session, path: str | Path) -> Path:
                 "observation": step.observation,
                 "valid": step.valid,
                 "shell_command": step.shell_command,
+                "payload": _jsonable(step.payload),
+                "artifacts": list(step.artifacts),
             }) + "\n")
     return path
 
@@ -73,6 +75,9 @@ def load_session(path: str | Path) -> Session:
             action_args=tuple(rec["action_args"]),
             observation=rec["observation"], valid=rec.get("valid", True),
             shell_command=rec.get("shell_command", ""),
+            payload=(rec.get("payload")
+                     if isinstance(rec.get("payload"), dict) else {}),
+            artifacts=tuple(rec.get("artifacts", ())),
         ))
     return session
 
