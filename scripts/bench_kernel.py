@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Micro-benchmark: event kernel vs the seed's tick loop.
+
+Measures ``CloudEnvironment.advance()`` throughput in **virtual seconds
+simulated per wall-clock second** and writes ``BENCH_kernel.json`` so the
+perf trajectory is tracked from PR to PR.
+
+Three windows:
+
+* ``idle``           — zero offered load, default 5s telemetry scrapes;
+* ``idle_sparse``    — zero offered load, 300s scrapes (a quiet night at
+  coarse metrics resolution: the kernel's best case, since it jumps
+  between scrape events instead of ticking through dead time);
+* ``loaded``         — the benchmark's 60 rps with 5s scrapes (request
+  execution dominates; the two paths should be near parity).
+
+"before" = the seed's hand-rolled 1-second tick loop
+(``driver.run_for``); "after" = the event kernel (``env.advance``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernel.py [--out BENCH_kernel.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.apps import HotelReservation
+from repro.core import CloudEnvironment
+from repro.workload import ConstantRate
+
+
+def _make_env(rate: float, scrape_interval: float) -> CloudEnvironment:
+    env = CloudEnvironment(HotelReservation, seed=0,
+                           policy=ConstantRate(rate))
+    env.driver.scrape_interval = scrape_interval
+    return env
+
+
+def _measure(run, virtual_seconds: float) -> float:
+    t0 = time.perf_counter()
+    run(virtual_seconds)
+    return virtual_seconds / (time.perf_counter() - t0)
+
+
+def bench_window(name: str, rate: float, scrape_interval: float,
+                 virtual_seconds: float, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` throughput for the tick loop vs the kernel.
+
+    Measurement order alternates between repeats so thermal / frequency
+    drift doesn't systematically favour one path."""
+    tick = kernel = 0.0
+    for i in range(repeats):
+        order = ("kernel", "tick") if i % 2 else ("tick", "kernel")
+        for kind in order:
+            env = _make_env(rate, scrape_interval)
+            fn = env.driver.run_for if kind == "tick" else env.advance
+            got = _measure(fn, virtual_seconds)
+            if kind == "tick":
+                tick = max(tick, got)
+            else:
+                kernel = max(kernel, got)
+    result = {
+        "offered_rps": rate,
+        "scrape_interval_s": scrape_interval,
+        "virtual_seconds": virtual_seconds,
+        "tick_loop_vs_per_wall_s": round(tick, 1),
+        "kernel_vs_per_wall_s": round(kernel, 1),
+        "speedup": round(kernel / tick, 3),
+    }
+    print(f"{name:12s} tick {tick:>12,.0f} vs/s   "
+          f"kernel {kernel:>12,.0f} vs/s   x{kernel / tick:.2f}")
+    return result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_kernel.json",
+                        help="output path (default: ./BENCH_kernel.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller windows (CI smoke mode)")
+    args = parser.parse_args()
+
+    scale = 0.1 if args.quick else 1.0
+    windows = {
+        "idle": bench_window("idle", 0.0, 5.0, 100_000.0 * scale),
+        "idle_sparse": bench_window("idle_sparse", 0.0, 300.0,
+                                    400_000.0 * scale),
+        "loaded": bench_window("loaded", 60.0, 5.0, 2_000.0 * scale),
+    }
+    payload = {
+        "benchmark": "event kernel advance() throughput (virtual s / wall s)",
+        "before": "seed tick loop (WorkloadDriver.run_for)",
+        "after": "event kernel (CloudEnvironment.advance)",
+        "python": platform.python_version(),
+        "windows": windows,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    idle_speedups = [windows["idle"]["speedup"],
+                     windows["idle_sparse"]["speedup"]]
+    if max(idle_speedups) <= 1.0:
+        raise SystemExit(
+            f"kernel did not beat the tick loop on idle windows: "
+            f"{idle_speedups}")
+
+
+if __name__ == "__main__":
+    main()

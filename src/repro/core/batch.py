@@ -96,14 +96,25 @@ async def _run_one(orch: Optional[Orchestrator], spec: SessionSpec,
             handle.bind_agent(agent, name=spec.agent_name)
             outcome.result = await handle.run(max_steps=spec.max_steps)
             outcome.session = handle.session
-            if release_handles:
-                # free the environment as soon as the case is done instead
-                # of pinning every env until the whole batch returns
-                outcome.handle = None
         except Exception as e:  # isolate failures to their own case
             if fail_fast:
                 raise
             outcome.error = e
+        finally:
+            if release_handles and outcome.handle is not None:
+                # free the environment as soon as the case is done (failed
+                # or not) instead of pinning every env until the batch
+                # returns; close it (untracking it from the orchestrator,
+                # if any) so its temp export dir is removed, not leaked per
+                # case — keeping the (possibly partial) trajectory
+                # reachable on the outcome
+                if outcome.session is None:
+                    outcome.session = outcome.handle.session
+                if orch is not None:
+                    orch.release(outcome.handle)
+                else:
+                    outcome.handle.close()
+                outcome.handle = None
         if progress is not None:
             progress(outcome)
     return outcome
@@ -122,12 +133,15 @@ async def run_sessions(specs: Sequence[SessionSpec],
     takes the batch down — its outcome carries the exception instead;
     ``fail_fast=True`` propagates the first failure immediately instead of
     spending the rest of the batch's budget.  ``release_handles=True``
-    drops each handle (environment, telemetry stores) as its case
-    finishes, keeping only the trajectory and result — essential for
+    closes and drops each handle (environment, telemetry stores, exported
+    artifact files under its temp export root) as its case finishes,
+    keeping only the in-memory trajectory and result — essential for
     paper-scale suites where 288 live environments would otherwise
     coexist.  Passing an ``orchestrator`` additionally tracks every handle
     on it (``orchestrator.handles``), which pins their environments for
-    the batch's lifetime — leave it None unless you want that.
+    the batch's lifetime — leave it None unless you want that.  With
+    ``release_handles=True`` each handle is released from the
+    orchestrator again as its case finishes, so the two options compose.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")

@@ -1,14 +1,23 @@
-"""One problem's operational environment: app + cluster + telemetry + load."""
+"""One problem's operational environment: app + cluster + telemetry + load.
+
+The environment is built around a discrete-event kernel: one
+:class:`~repro.simcore.events.EventQueue` on the shared
+:class:`~repro.simcore.clock.SimClock` drives workload arrivals, telemetry
+scrapes, periodic controller resync and any scheduled fault timelines.
+``advance(s)`` runs the queue to ``now + s``, so virtual time jumps from
+event to event instead of being ticked through.
+"""
 
 from __future__ import annotations
 
+import shutil
 import tempfile
 from pathlib import Path
 from typing import Optional, Type
 
 from repro.apps.base import App
 from repro.kubesim import Cluster, Helm, Kubectl
-from repro.simcore import SimClock
+from repro.simcore import EventQueue, SimClock
 from repro.telemetry import TelemetryCollector, TelemetryExporter
 from repro.workload import ConstantRate, RatePolicy, WorkloadDriver
 
@@ -19,6 +28,15 @@ class CloudEnvironment:
     This is the ``E`` part of the problem context ``C = ⟨E, I⟩`` — the
     service, fault and workload conditions the problem occurs under; it is
     *not* shared with the agent (the agent only sees it through the ACI).
+
+    Parameters
+    ----------
+    resync_interval:
+        Period (virtual seconds) of the controller-resync event that
+        re-runs the cluster's reconciling controllers, like the real
+        controller manager's sync loop.  ``0`` disables it.  On a
+        converged cluster a resync is a pure no-op (no RNG draws, no
+        events recorded), so it never perturbs determinism.
     """
 
     def __init__(
@@ -28,9 +46,11 @@ class CloudEnvironment:
         workload_rate: float = 60.0,
         policy: Optional[RatePolicy] = None,
         export_root: Optional[str | Path] = None,
+        resync_interval: float = 30.0,
     ) -> None:
         self.seed = seed
         self.clock = SimClock()
+        self.queue = EventQueue(self.clock)
         self.cluster = Cluster(clock=self.clock, seed=seed)
         self.collector = TelemetryCollector(self.clock, seed=seed)
         self.helm = Helm(self.cluster)
@@ -43,6 +63,7 @@ class CloudEnvironment:
             self.app.workload_mix(),
             policy or ConstantRate(workload_rate),
             seed=seed,
+            queue=self.queue,
         )
         self.kubectl = Kubectl(
             self.cluster,
@@ -50,24 +71,48 @@ class CloudEnvironment:
             exec_handler=self.app.exec_handler,
             metrics_source=self.collector.kubectl_metrics_source(self.cluster),
         )
+        self._owns_export_root = export_root is None
         root = Path(export_root) if export_root else Path(tempfile.mkdtemp(
             prefix=f"aiopslab-{self.app.name}-"))
+        self.export_root = root
         self.exporter = TelemetryExporter(self.collector, root)
+        self._resync = self.queue.schedule_every(
+            resync_interval, self.cluster.resync, label="controller.resync",
+            passive=True,  # a converged-cluster resync can't affect workload
+        ) if resync_interval > 0 else None
+        self.closed = False
 
     @property
     def namespace(self) -> str:
         return self.app.namespace
 
     def advance(self, seconds: float) -> None:
-        """Let the environment live for ``seconds`` of virtual time
-        (workload continues, telemetry is scraped)."""
-        self.driver.run_for(seconds)
+        """Let the environment live for ``seconds`` of virtual time: the
+        workload, scrapes, controller resync and any scheduled fault
+        timeline all fire as events on the queue."""
+        self.driver.run_events(seconds)
 
     def probe_error_rate(self, seconds: float = 10.0) -> float:
         """Run load for a window and return the fraction of failed requests."""
         before_req = self.driver.stats.requests
         before_err = self.driver.stats.errors
-        self.driver.run_for(seconds)
+        self.advance(seconds)
         n = self.driver.stats.requests - before_req
         e = self.driver.stats.errors - before_err
         return e / n if n else 0.0
+
+    def close(self) -> None:
+        """Release the environment's on-disk footprint.
+
+        Cancels the recurring resync event and removes the telemetry
+        export directory *if this environment created it* (a caller-
+        provided ``export_root`` is the caller's to manage).  Idempotent;
+        the in-memory simulation stays usable for post-mortem inspection.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if self._resync is not None:
+            self._resync.cancel()
+        if self._owns_export_root:
+            shutil.rmtree(self.export_root, ignore_errors=True)

@@ -100,6 +100,16 @@ class SessionHandle:
         self.agent_name = name
         return self
 
+    def close(self) -> None:
+        """Release the session's environment's on-disk footprint.
+
+        The in-memory trajectory (:attr:`session`) and :attr:`result` stay
+        available, but exported telemetry *files* (the paths recorded in
+        step ``artifacts``) live under the environment's temp export root
+        and are removed with it — read them before closing, or pass an
+        ``export_root`` you own to keep them."""
+        self.env.close()
+
     # ------------------------------------------------------------------
     async def run(self, max_steps: int = 20) -> dict:
         """Drive the agent loop to completion and return the evaluation."""
@@ -284,16 +294,19 @@ class Orchestrator:
         return handle
 
     def release(self, handle: SessionHandle) -> None:
-        """Stop tracking a handle so its environment can be reclaimed.
+        """Stop tracking a handle and reclaim its environment.
 
         Handles are tracked in :attr:`handles` for the orchestrator's
         lifetime otherwise — call this (keeping the handle's ``session``
         if you need the trajectory) when running many sessions through
-        one long-lived orchestrator."""
+        one long-lived orchestrator.  Closes the handle's environment, so
+        its temp telemetry-export directory is removed rather than leaked
+        one-per-case across a suite."""
         if handle in self.handles:
             self.handles.remove(handle)
         if handle is self._shim_handle:
             self._shim_handle = None
+        handle.close()
 
     # ------------------------------------------------------------------
     # seed API (back-compat shim)
@@ -310,8 +323,10 @@ class Orchestrator:
         self._shim_handle = self.create_session(problem)
         if replaced is not None and replaced in self.handles:
             # the seed flow held one problem at a time; don't pin the
-            # replaced handle's environment on the orchestrator
+            # replaced handle's environment on the orchestrator (and don't
+            # leak its export dir)
             self.handles.remove(replaced)
+            replaced.close()
         if self._shim_agent is not None:
             self._shim_handle.bind_agent(self._shim_agent,
                                          self._shim_agent_name)

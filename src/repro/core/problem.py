@@ -14,18 +14,10 @@ from repro.apps import HotelReservation, SocialNetwork
 from repro.core.env import CloudEnvironment
 from repro.core.evaluator import system_healthy
 from repro.faults import (
-    ApplicationFaultInjector,
+    INJECTOR_CLASSES as _INJECTOR_CLASSES,
     FaultSpec,
-    SymptomaticFaultInjector,
-    VirtFaultInjector,
     get_fault_spec,
 )
-
-_INJECTOR_CLASSES = {
-    "virt": VirtFaultInjector,
-    "app": ApplicationFaultInjector,
-    "symptomatic": SymptomaticFaultInjector,
-}
 
 _APP_CLASSES: dict[str, Type[App]] = {
     "HotelReservation": HotelReservation,

@@ -23,8 +23,20 @@ from repro.faults.functional import (
     VirtFaultInjector,
 )
 from repro.faults.library import FaultSpec, FAULT_LIBRARY, get_fault_spec
+from repro.faults.schedule import (
+    INJECTOR_CLASSES,
+    ArmedSchedule,
+    FaultSchedule,
+    TimelineEntry,
+    resolve_fault_spec,
+)
 
 __all__ = [
+    "INJECTOR_CLASSES",
+    "ArmedSchedule",
+    "FaultSchedule",
+    "TimelineEntry",
+    "resolve_fault_spec",
     "FaultInjector",
     "InjectedFault",
     "ChaosMesh",

@@ -1,0 +1,224 @@
+"""Scheduled fault timelines: faults as events on the environment kernel.
+
+A :class:`FaultSchedule` is a declarative timeline — inject *this* fault at
+t=45, recover it at t=60, swap the workload's rate policy at t=120 — that
+:meth:`FaultSchedule.arm` turns into scheduled events on an environment's
+:class:`~repro.simcore.events.EventQueue`.  Because the environment only
+moves through ``advance()`` (which runs the queue), the timeline fires
+*while the agent is working*: delayed-onset faults appear mid-session,
+flapping faults come and go between probes, and cascades unfold in stages.
+
+Builders cover the paper-motivated shapes:
+
+* :meth:`FaultSchedule.delayed` — single fault with onset delay;
+* :meth:`FaultSchedule.flapping` — intermittent inject/recover cycles;
+* :meth:`FaultSchedule.cascade` — multiple faults at staggered times;
+* :meth:`FaultSchedule.set_rate` — time-varying workload (diurnal/burst
+  policies taking over at a scheduled moment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.faults.base import FaultInjector
+from repro.faults.functional import ApplicationFaultInjector, VirtFaultInjector
+from repro.faults.library import FAULT_LIBRARY, FaultSpec, get_fault_spec
+from repro.faults.symptomatic import SymptomaticFaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.env import CloudEnvironment
+    from repro.simcore import ScheduledEvent
+    from repro.workload.policies import RatePolicy
+
+#: the one injector-family → class mapping (problems and schedules share it)
+INJECTOR_CLASSES: dict[str, type[FaultInjector]] = {
+    "virt": VirtFaultInjector,
+    "app": ApplicationFaultInjector,
+    "symptomatic": SymptomaticFaultInjector,
+}
+
+
+def resolve_fault_spec(fault: str | int) -> FaultSpec:
+    """Resolve a fault by Table-2 number, name, or injector ``fault_key``."""
+    try:
+        return get_fault_spec(fault)
+    except KeyError:
+        for spec in FAULT_LIBRARY:
+            if spec.fault_key and spec.fault_key == fault:
+                return spec
+        raise
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One scheduled step of a fault timeline.
+
+    ``at`` is the offset in virtual seconds from the moment the schedule
+    is armed; ``kind`` is ``"inject"``, ``"recover"`` or ``"set_rate"``.
+    """
+
+    at: float
+    kind: str
+    fault: str | int = ""
+    targets: tuple[str, ...] = ()
+    policy: Optional["RatePolicy"] = None
+
+    def describe(self) -> str:
+        if self.kind == "set_rate":
+            return f"set_rate {type(self.policy).__name__}"
+        return f"{self.kind} {self.fault} -> {list(self.targets)}"
+
+
+class FaultSchedule:
+    """A declarative, composable fault timeline (see module docstring)."""
+
+    def __init__(self, entries: Sequence[TimelineEntry] = ()) -> None:
+        self.entries: list[TimelineEntry] = []
+        for entry in entries:  # pre-built entries get the builders' checks
+            if entry.kind in ("inject", "recover"):
+                self._check_injectable(entry.fault)
+            elif entry.kind != "set_rate":
+                raise ValueError(f"unknown timeline kind {entry.kind!r}")
+            self._add(entry)
+
+    # -- chainable builders --------------------------------------------
+    def _add(self, entry: TimelineEntry) -> "FaultSchedule":
+        if entry.at < 0:
+            raise ValueError(f"timeline offsets must be >= 0, got {entry.at}")
+        self.entries.append(entry)
+        self.entries.sort(key=lambda e: e.at)
+        return self
+
+    @staticmethod
+    def _check_injectable(fault: str | int) -> None:
+        """Fail at build time, not event-fire time, for bad faults."""
+        spec = resolve_fault_spec(fault)  # raises KeyError on unknown
+        if spec.injector not in INJECTOR_CLASSES:
+            raise ValueError(
+                f"fault {spec.name!r} has no injector "
+                f"(injector={spec.injector!r}) and cannot be scheduled")
+
+    def inject(self, at: float, fault: str | int,
+               targets: Sequence[str]) -> "FaultSchedule":
+        """Inject ``fault`` into ``targets`` ``at`` seconds after arming."""
+        self._check_injectable(fault)
+        return self._add(TimelineEntry(at, "inject", fault, tuple(targets)))
+
+    def recover(self, at: float, fault: str | int,
+                targets: Sequence[str]) -> "FaultSchedule":
+        """Recover ``fault`` on ``targets`` ``at`` seconds after arming."""
+        self._check_injectable(fault)
+        return self._add(TimelineEntry(at, "recover", fault, tuple(targets)))
+
+    def set_rate(self, at: float, policy: "RatePolicy") -> "FaultSchedule":
+        """Swap the workload's rate policy ``at`` seconds after arming."""
+        return self._add(TimelineEntry(at, "set_rate", policy=policy))
+
+    # -- canned shapes -------------------------------------------------
+    @classmethod
+    def delayed(cls, fault: str | int, targets: Sequence[str],
+                delay: float) -> "FaultSchedule":
+        """A single fault whose onset is ``delay`` seconds after arming."""
+        return cls().inject(delay, fault, targets)
+
+    @classmethod
+    def flapping(cls, fault: str | int, targets: Sequence[str], *,
+                 start: float = 0.0, period: float = 30.0,
+                 on_for: float = 15.0, cycles: int = 4) -> "FaultSchedule":
+        """An intermittent fault: ``cycles`` inject/recover pairs, each
+        cycle ``period`` seconds long with the fault live for ``on_for``."""
+        if not 0 < on_for < period:
+            raise ValueError(
+                f"need 0 < on_for < period, got on_for={on_for}, "
+                f"period={period}")
+        if cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {cycles}")
+        sched = cls()
+        for k in range(cycles):
+            t0 = start + k * period
+            sched.inject(t0, fault, targets)
+            sched.recover(t0 + on_for, fault, targets)
+        return sched
+
+    @classmethod
+    def cascade(cls, steps: Sequence[tuple[float, str | int, Sequence[str]]],
+                ) -> "FaultSchedule":
+        """Multiple faults unfolding in stages: ``(at, fault, targets)``."""
+        sched = cls()
+        for at, fault, targets in steps:
+            sched.inject(at, fault, targets)
+        return sched
+
+    # -- properties ----------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Offset of the last timeline entry (0 for an empty schedule)."""
+        return self.entries[-1].at if self.entries else 0.0
+
+    def arm(self, env: "CloudEnvironment") -> "ArmedSchedule":
+        """Schedule every entry on ``env.queue`` relative to ``env`` now."""
+        return ArmedSchedule(self, env)
+
+
+class ArmedSchedule:
+    """A :class:`FaultSchedule` bound to one environment's event queue.
+
+    Keeps the per-family injectors it creates (so ``recover_all`` can undo
+    exactly what was injected), the scheduled events (so a problem teardown
+    can cancel what hasn't fired yet), and a fired log for introspection.
+    """
+
+    def __init__(self, schedule: FaultSchedule, env: "CloudEnvironment") -> None:
+        self.schedule = schedule
+        self.env = env
+        self.armed_at = env.clock.now
+        self._injectors: dict[str, FaultInjector] = {}
+        self.events: list["ScheduledEvent"] = []
+        #: (virtual time, entry description) for every fired entry
+        self.log: list[tuple[float, str]] = []
+        for entry in schedule.entries:
+            ev = env.queue.schedule_at(
+                self.armed_at + entry.at,
+                lambda e=entry: self._fire(e),
+                label=f"fault.{entry.kind}",
+            )
+            self.events.append(ev)
+
+    # -- firing --------------------------------------------------------
+    def _injector_for(self, spec: FaultSpec) -> FaultInjector:
+        cls = INJECTOR_CLASSES[spec.injector]
+        key = spec.injector
+        if key not in self._injectors:
+            self._injectors[key] = cls(self.env.app)
+        return self._injectors[key]
+
+    def _fire(self, entry: TimelineEntry) -> None:
+        if entry.kind == "set_rate":
+            self.env.driver.policy = entry.policy
+        else:
+            spec = resolve_fault_spec(entry.fault)
+            injector = self._injector_for(spec)
+            if entry.kind == "inject":
+                injector._inject(list(entry.targets), spec.fault_key)
+            else:
+                injector._recover(list(entry.targets), spec.fault_key)
+        self.log.append((self.env.clock.now, entry.describe()))
+
+    # -- teardown ------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of timeline entries that have not fired yet."""
+        return sum(1 for ev in self.events
+                   if not ev.fired and not ev.cancelled)
+
+    def cancel_pending(self) -> None:
+        """Cancel every entry that has not fired yet."""
+        for ev in self.events:
+            ev.cancel()
+
+    def recover_all(self) -> None:
+        """Undo every live injection made by this schedule."""
+        for injector in self._injectors.values():
+            injector.recover_all()

@@ -22,6 +22,53 @@ from repro.kubesim.scheduler import Scheduler
 from repro.kubesim.controllers import DeploymentController, EndpointsController
 
 
+class _VersionedDict(dict):
+    """A dict that counts membership mutations.
+
+    The cluster's sorted per-namespace object views are derived caches
+    keyed on this version, so every mutation site (controllers, faults,
+    helm, kubectl) invalidates them without having to know they exist.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.version = 0
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.version += 1
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self.version += 1
+
+    def pop(self, *args):
+        self.version += 1
+        return super().pop(*args)
+
+    def popitem(self):
+        self.version += 1
+        return super().popitem()
+
+    def clear(self) -> None:
+        self.version += 1
+        super().clear()
+
+    def update(self, *args, **kwargs) -> None:
+        self.version += 1
+        super().update(*args, **kwargs)
+
+    def setdefault(self, key, default=None):
+        self.version += 1
+        return super().setdefault(key, default)
+
+    def __ior__(self, other):
+        self.version += 1
+        return super().__ior__(other)
+
+
 class Cluster:
     """Holds every Kubernetes object and runs the reconciling controllers.
 
@@ -47,9 +94,9 @@ class Cluster:
 
         self.namespaces: set[str] = {"default", "kube-system"}
         self.nodes: dict[str, Node] = {}
-        self.pods: dict[tuple[str, str], Pod] = {}
+        self.pods: dict[tuple[str, str], Pod] = _VersionedDict()
         self.deployments: dict[tuple[str, str], Deployment] = {}
-        self.services: dict[tuple[str, str], Service] = {}
+        self.services: dict[tuple[str, str], Service] = _VersionedDict()
         self.endpoints: dict[tuple[str, str], Endpoints] = {}
         self.configmaps: dict[tuple[str, str], ConfigMap] = {}
         self.secrets: dict[tuple[str, str], Secret] = {}
@@ -58,6 +105,12 @@ class Cluster:
         self._scheduler = Scheduler(self)
         self._deploy_ctrl = DeploymentController(self)
         self._endpoints_ctrl = EndpointsController(self)
+        #: set by mutating CRUD methods, cleared by reconcile(); lets the
+        #: periodic resync event skip converged clusters in O(1)
+        self._dirty = True
+        #: version-keyed sorted views per namespace (derived caches)
+        self._pods_views: tuple[int, dict[str, list[Pod]]] = (-1, {})
+        self._services_views: tuple[int, dict[str, list[Service]]] = (-1, {})
 
         # Default control-plane node so a fresh cluster is schedulable.
         self.add_node("node-0")
@@ -100,12 +153,14 @@ class Cluster:
     # namespaces & nodes
     # ------------------------------------------------------------------
     def create_namespace(self, name: str) -> None:
+        self._dirty = True
         self.namespaces.add(name)
 
     def delete_namespace(self, name: str) -> None:
         """Delete a namespace and everything inside it."""
         if name not in self.namespaces:
             raise ResourceNotFound("Namespace", name)
+        self._dirty = True
         self.namespaces.discard(name)
         for store in (
             self.pods,
@@ -123,6 +178,7 @@ class Cluster:
             raise ResourceNotFound("Namespace", name)
 
     def add_node(self, name: str, labels: Optional[dict[str, str]] = None) -> Node:
+        self._dirty = True
         node = Node(meta=ObjectMeta(name=name, namespace=""), labels=labels or {})
         self.nodes[name] = node
         return node
@@ -130,6 +186,7 @@ class Cluster:
     def remove_node(self, name: str) -> None:
         if name not in self.nodes:
             raise ResourceNotFound("Node", name)
+        self._dirty = True
         del self.nodes[name]
         self.reconcile()
 
@@ -141,6 +198,7 @@ class Cluster:
         key = (dep.namespace, dep.name)
         if key in self.deployments:
             raise InvalidAction(f'deployment "{dep.name}" already exists')
+        self._dirty = True
         dep.meta.uid = self._next_uid()
         dep.meta.creation_time = self.clock.now
         self.deployments[key] = dep
@@ -159,6 +217,7 @@ class Cluster:
 
     def delete_deployment(self, namespace: str, name: str) -> None:
         self.get_deployment(namespace, name)
+        self._dirty = True
         del self.deployments[(namespace, name)]
         self.reconcile()
 
@@ -166,6 +225,7 @@ class Cluster:
         if replicas < 0:
             raise InvalidAction(f"replicas must be >= 0, got {replicas}")
         dep = self.get_deployment(namespace, name)
+        self._dirty = True
         old = dep.replicas
         dep.replicas = replicas
         dep.generation += 1
@@ -182,6 +242,7 @@ class Cluster:
         key = (svc.namespace, svc.name)
         if key in self.services:
             raise InvalidAction(f'service "{svc.name}" already exists')
+        self._dirty = True
         svc.meta.uid = self._next_uid()
         svc.meta.creation_time = self.clock.now
         if not svc.cluster_ip:
@@ -198,6 +259,7 @@ class Cluster:
 
     def delete_service(self, namespace: str, name: str) -> None:
         self.get_service(namespace, name)
+        self._dirty = True
         del self.services[(namespace, name)]
         self.endpoints.pop((namespace, name), None)
 
@@ -212,6 +274,7 @@ class Cluster:
         key = (pod.namespace, pod.name)
         if key in self.pods:
             raise InvalidAction(f'pod "{pod.name}" already exists')
+        self._dirty = True
         pod.meta.uid = self._next_uid()
         pod.meta.creation_time = self.clock.now
         pod.start_time = self.clock.now
@@ -228,11 +291,13 @@ class Cluster:
     def delete_pod(self, namespace: str, name: str) -> None:
         pod = self.get_pod(namespace, name)
         self.record_event(namespace, "Pod", name, "Killing", f"Stopping container {name}")
+        self._dirty = True
         del self.pods[(namespace, pod.name)]
         self.reconcile()
 
     def create_configmap(self, cm: ConfigMap) -> ConfigMap:
         self.require_namespace(cm.namespace)
+        self._dirty = True
         cm.meta.uid = self._next_uid()
         cm.meta.creation_time = self.clock.now
         self.configmaps[(cm.namespace, cm.name)] = cm
@@ -246,6 +311,7 @@ class Cluster:
 
     def create_secret(self, s: Secret) -> Secret:
         self.require_namespace(s.namespace)
+        self._dirty = True
         s.meta.uid = self._next_uid()
         s.meta.creation_time = self.clock.now
         self.secrets[(s.namespace, s.name)] = s
@@ -261,18 +327,45 @@ class Cluster:
     # queries used by controllers and telemetry
     # ------------------------------------------------------------------
     def pods_in(self, namespace: str) -> list[Pod]:
-        return [p for (ns, _), p in sorted(self.pods.items()) if ns == namespace]
+        version, views = self._pods_views
+        if version != self.pods.version:
+            views = {}
+            self._pods_views = (self.pods.version, views)
+        view = views.get(namespace)
+        if view is None:
+            view = [p for (ns, _), p in sorted(self.pods.items())
+                    if ns == namespace]
+            views[namespace] = view
+        return list(view)
 
     def deployments_in(self, namespace: str) -> list[Deployment]:
         return [d for (ns, _), d in sorted(self.deployments.items()) if ns == namespace]
 
     def services_in(self, namespace: str) -> list[Service]:
-        return [s for (ns, _), s in sorted(self.services.items()) if ns == namespace]
+        version, views = self._services_views
+        if version != self.services.version:
+            views = {}
+            self._services_views = (self.services.version, views)
+        view = views.get(namespace)
+        if view is None:
+            view = [s for (ns, _), s in sorted(self.services.items())
+                    if ns == namespace]
+            views[namespace] = view
+        return list(view)
 
     def pods_matching(self, namespace: str, selector: dict[str, str]) -> list[Pod]:
         if not selector:
             return []
-        return [p for p in self.pods_in(namespace) if p.meta.matches(selector)]
+        items = selector.items()
+        out = []
+        for p in self.pods_in(namespace):
+            labels = p.meta.labels
+            for k, v in items:
+                if labels.get(k) != v:
+                    break
+            else:
+                out.append(p)
+        return out
 
     def pods_for_deployment(self, dep: Deployment) -> list[Pod]:
         return [
@@ -301,3 +394,16 @@ class Cluster:
             changed |= self._endpoints_ctrl.reconcile()
             if not changed:
                 break
+        self._dirty = False
+
+    def resync(self) -> None:
+        """Periodic controller sync (the controller-manager's resync loop).
+
+        Every mutating CRUD method reconciles eagerly, so a converged
+        cluster has nothing to do here — this is an O(1) no-op unless a
+        mutation was made without a follow-up :meth:`reconcile` (the
+        ``_dirty`` flag tracks that).  Scheduled as a recurring event by
+        :class:`~repro.core.env.CloudEnvironment`.
+        """
+        if self._dirty:
+            self.reconcile()

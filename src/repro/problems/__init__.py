@@ -1,9 +1,12 @@
-"""The AIOpsLab benchmark problem pool (§3.3): 48 problems + 2 Noop probes."""
+"""The AIOpsLab benchmark problem pool (§3.3): 48 problems + 2 Noop probes,
+plus scheduled-fault scenario problems behind :func:`scenario_pids`."""
 
 from repro.problems.pool import (
     PROBLEM_FACTORIES,
+    SCENARIO_FACTORIES,
     benchmark_pids,
     noop_pids,
+    scenario_pids,
     get_problem,
     list_problems,
     pool_summary,
@@ -11,8 +14,10 @@ from repro.problems.pool import (
 
 __all__ = [
     "PROBLEM_FACTORIES",
+    "SCENARIO_FACTORIES",
     "benchmark_pids",
     "noop_pids",
+    "scenario_pids",
     "get_problem",
     "list_problems",
     "pool_summary",

@@ -24,6 +24,7 @@ from repro.core.problem import (
     Problem,
 )
 from repro.faults.library import FAULT_LIBRARY, FaultSpec
+from repro.problems.scenarios import SCENARIO_FACTORIES
 
 _TASK_CLASSES: dict[str, type[Problem]] = {
     "detection": DetectionTask,
@@ -73,6 +74,7 @@ def _build() -> tuple[dict[str, Callable[[], Problem]], list[str], list[str]]:
 
 
 PROBLEM_FACTORIES, _BENCHMARK_PIDS, _NOOP_PIDS = _build()
+_SCENARIO_PIDS = list(SCENARIO_FACTORIES)
 
 
 def benchmark_pids() -> list[str]:
@@ -85,19 +87,31 @@ def noop_pids() -> list[str]:
     return list(_NOOP_PIDS)
 
 
+def scenario_pids() -> list[str]:
+    """Scheduled-fault scenario problems (delayed onset, flapping,
+    cascades, traffic surges) built on the event kernel's
+    :class:`~repro.faults.schedule.FaultSchedule` timelines.
+
+    Kept separate from :func:`benchmark_pids` so the paper-faithful
+    48-problem set is untouched."""
+    return list(_SCENARIO_PIDS)
+
+
 def get_problem(pid: str) -> Problem:
     """Instantiate a fresh problem for ``pid`` (problems are single-use)."""
-    try:
-        return PROBLEM_FACTORIES[pid]()
-    except KeyError:
+    factory = PROBLEM_FACTORIES.get(pid) or SCENARIO_FACTORIES.get(pid)
+    if factory is None:
         raise KeyError(
-            f"unknown problem id {pid!r}; see list_problems()") from None
+            f"unknown problem id {pid!r}; see list_problems()")
+    return factory()
 
 
 def list_problems(task_type: Optional[str] = None,
-                  include_noop: bool = False) -> list[str]:
+                  include_noop: bool = False,
+                  include_scenarios: bool = False) -> list[str]:
     """Problem ids, optionally filtered by task type."""
-    pids = benchmark_pids() + (noop_pids() if include_noop else [])
+    pids = benchmark_pids() + (noop_pids() if include_noop else []) \
+        + (scenario_pids() if include_scenarios else [])
     if task_type is None:
         return pids
     return [p for p in pids if f"-{task_type}-" in p]
@@ -110,4 +124,5 @@ def pool_summary() -> dict[str, int]:
         out[task] = len(list_problems(task))
     out["total"] = len(benchmark_pids())
     out["noop"] = len(noop_pids())
+    out["scenario"] = len(scenario_pids())
     return out

@@ -1,0 +1,161 @@
+"""Scheduled-fault scenario problems: timelines the agent lives through.
+
+The 48-problem benchmark injects its fault before the agent is engaged and
+keeps it active for the whole session.  The scenarios here exercise the
+event kernel's new capability — the fault *timeline* unfolds while the
+agent works:
+
+* **delayed onset** — the system is healthy when the session starts and
+  breaks mid-investigation;
+* **flapping** — the fault comes and goes, so a single probe can miss it;
+* **cascade** — a second fault lands while the first is being diagnosed;
+* **surge** — a traffic-burst rate policy takes over as the fault lands.
+
+These problems are registered behind :func:`repro.problems.scenario_pids`
+and are *not* part of :func:`~repro.problems.benchmark_pids`, so the
+paper-faithful 48-problem set is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.env import CloudEnvironment
+from repro.core.problem import (
+    DetectionTask,
+    LocalizationTask,
+    MitigationTask,
+    Problem,
+)
+from repro.faults.schedule import ArmedSchedule, FaultSchedule
+from repro.workload.policies import BurstRate
+
+
+class ScheduledFaultProblem(Problem):
+    """Base for problems whose fault is a :class:`FaultSchedule`.
+
+    Subclasses implement :meth:`build_schedule`; arming replaces the
+    immediate injection of the base class.  The armed schedule is kept so
+    teardown can cancel what hasn't fired and recover what has.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.armed: Optional[ArmedSchedule] = None
+
+    def build_schedule(self) -> FaultSchedule:
+        raise NotImplementedError
+
+    def inject_fault(self, env: CloudEnvironment) -> None:
+        """Arm the timeline and soak; later entries fire mid-session."""
+        self.armed = self.build_schedule().arm(env)
+        self.injected_at = env.clock.now
+        env.advance(self.fault_soak_seconds)
+
+    def recover_fault(self, env: CloudEnvironment) -> None:
+        """Oracle teardown: stop the timeline, undo live injections."""
+        if self.armed is not None:
+            self.armed.cancel_pending()
+            self.armed.recover_all()
+
+
+class DelayedRevokeAuthDetection(ScheduledFaultProblem, DetectionTask):
+    """Healthy at session start; MongoDB auth is revoked mid-session.
+
+    The soak covers 30s of the 40s onset delay, so the fault lands ~10
+    virtual seconds into the agent's investigation — an agent that probes
+    once and answers early reports a false "no".
+    """
+
+    onset_delay = 40.0
+
+    def __init__(self, pid: Optional[str] = None) -> None:
+        super().__init__(None, target="mongodb-geo",
+                         app_name="HotelReservation", pid=pid, expected="yes")
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.delayed("RevokeAuth", (self.target,),
+                                     self.onset_delay)
+
+
+class FlappingNetworkLossDetection(ScheduledFaultProblem, DetectionTask):
+    """Intermittent packet loss on the search path: 15s on, 15s off."""
+
+    def __init__(self, pid: Optional[str] = None) -> None:
+        super().__init__(None, target="search",
+                         app_name="HotelReservation", pid=pid, expected="yes")
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.flapping("NetworkLoss", (self.target,),
+                                      start=5.0, period=30.0, on_for=15.0,
+                                      cycles=6)
+
+
+class FlappingPodFailureLocalization(ScheduledFaultProblem, LocalizationTask):
+    """The recommendation pods crash-loop in bursts; localize the service."""
+
+    def __init__(self, pid: Optional[str] = None) -> None:
+        super().__init__(None, target="recommendation",
+                         app_name="HotelReservation", pid=pid)
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.flapping("PodFailure", (self.target,),
+                                      start=10.0, period=40.0, on_for=20.0,
+                                      cycles=5)
+
+
+class CascadeGeoOutageLocalization(ScheduledFaultProblem, LocalizationTask):
+    """A two-stage outage: geo's database auth is revoked first, then the
+    recommendation pods fail while the agent is diagnosing.  Ground truth
+    is the *root* of the cascade (mongodb-geo)."""
+
+    def __init__(self, pid: Optional[str] = None) -> None:
+        super().__init__(None, target="mongodb-geo",
+                         app_name="HotelReservation", pid=pid)
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.cascade([
+            (10.0, "RevokeAuth", (self.target,)),
+            (50.0, "PodFailure", ("recommendation",)),
+        ])
+
+
+class SurgeRevokeAuthMitigation(ScheduledFaultProblem, MitigationTask):
+    """A marketing-burst traffic surge begins just before profile's
+    database auth is revoked; the agent must repair the system while the
+    burst policy drives 3× load waves.
+
+    The burst factor is chosen so the peak (180 rps) stays under the
+    driver's ``max_requests_per_tick`` cap — the offered load is actually
+    delivered, not clipped."""
+
+    def __init__(self, pid: Optional[str] = None) -> None:
+        super().__init__(None, target="mongodb-profile",
+                         app_name="HotelReservation", pid=pid)
+
+    def build_schedule(self) -> FaultSchedule:
+        return (FaultSchedule()
+                .set_rate(5.0, BurstRate(base=self.workload_rate,
+                                         burst_factor=3.0, interval=120.0,
+                                         burst_duration=30.0))
+                .inject(20.0, "RevokeAuth", (self.target,)))
+
+
+#: pid -> factory, in presentation order
+SCENARIO_FACTORIES: dict[str, Callable[[], Problem]] = {
+    "delayed_revoke_auth_hotel_res-detection-1":
+        lambda: DelayedRevokeAuthDetection(
+            pid="delayed_revoke_auth_hotel_res-detection-1"),
+    "flapping_network_loss_hotel_res-detection-1":
+        lambda: FlappingNetworkLossDetection(
+            pid="flapping_network_loss_hotel_res-detection-1"),
+    "flapping_pod_failure_hotel_res-localization-1":
+        lambda: FlappingPodFailureLocalization(
+            pid="flapping_pod_failure_hotel_res-localization-1"),
+    "cascade_geo_outage_hotel_res-localization-1":
+        lambda: CascadeGeoOutageLocalization(
+            pid="cascade_geo_outage_hotel_res-localization-1"),
+    "surge_revoke_auth_hotel_res-mitigation-1":
+        lambda: SurgeRevokeAuthMitigation(
+            pid="surge_revoke_auth_hotel_res-mitigation-1"),
+}

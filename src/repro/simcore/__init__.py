@@ -8,7 +8,7 @@ milliseconds of wall time.
 """
 
 from repro.simcore.clock import SimClock
-from repro.simcore.events import EventQueue, ScheduledEvent
+from repro.simcore.events import EventQueue, RecurringEvent, ScheduledEvent
 from repro.simcore.rng import RngStream, derive_seed
 from repro.simcore.errors import (
     SimError,
@@ -20,6 +20,7 @@ from repro.simcore.errors import (
 __all__ = [
     "SimClock",
     "EventQueue",
+    "RecurringEvent",
     "ScheduledEvent",
     "RngStream",
     "derive_seed",

@@ -1,4 +1,10 @@
-"""A small discrete-event queue used by workload generation and controllers."""
+"""The discrete-event queue — the spine of the environment kernel.
+
+Workload arrival ticks, telemetry scrapes, periodic controller resync and
+scheduled fault timelines are all :class:`ScheduledEvent`\\ s on one queue
+over the shared :class:`SimClock`, so virtual time jumps from event to
+event instead of being ticked through.
+"""
 
 from __future__ import annotations
 
@@ -23,14 +29,50 @@ class ScheduledEvent:
     action: Callable[[], Any] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+    #: a passive action provably does not mutate workload/driver state
+    #: (e.g. a converged-cluster resync), so idle fast-forwarding may
+    #: plan across its fire time; it still fires at that time
+    passive: bool = field(default=False, compare=False)
+    #: back-reference so cancellation can trigger lazy heap compaction
+    queue: Optional["EventQueue"] = field(default=None, compare=False,
+                                          repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the queue skips it when popped."""
+        """Mark the event so the queue skips it when popped.
+
+        Cancelling an event that already fired (or was already cancelled)
+        is a no-op, so teardown code can blanket-cancel a timeline."""
+        if not self.cancelled and not self.fired:
+            self.cancelled = True
+            if self.queue is not None:
+                self.queue._note_cancelled()
+
+
+class RecurringEvent:
+    """Handle for a self-rescheduling event created by
+    :meth:`EventQueue.schedule_every`; :meth:`cancel` stops the series."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.cancelled = False
+        self.fired = 0
+        #: the currently scheduled occurrence
+        self.event: Optional[ScheduledEvent] = None
+
+    def cancel(self) -> None:
         self.cancelled = True
+        if self.event is not None:
+            self.event.cancel()
 
 
 class EventQueue:
     """Min-heap of :class:`ScheduledEvent` driven by a shared :class:`SimClock`.
+
+    Cancelled events stay in the heap until popped, but the queue compacts
+    itself whenever they outnumber the live entries, so long-lived queues
+    with churny timelines (flapping faults, rescheduled scrapes) don't
+    accumulate dead weight.
 
     Example
     -------
@@ -44,45 +86,122 @@ class EventQueue:
     ['a']
     """
 
+    #: below this heap size compaction isn't worth the heapify
+    _COMPACT_MIN = 16
+
     def __init__(self, clock: SimClock) -> None:
         self.clock = clock
         self._heap: list[ScheduledEvent] = []
         self._seq = itertools.count()
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled
 
+    # -- cancellation bookkeeping --------------------------------------
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._heap) \
+                and len(self._heap) >= self._COMPACT_MIN:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    def _pop_cancelled_head(self) -> None:
+        heapq.heappop(self._heap)
+        if self._cancelled:
+            self._cancelled -= 1
+
+    # -- scheduling ----------------------------------------------------
     def schedule_at(
-        self, time: float, action: Callable[[], Any], label: str = ""
+        self, time: float, action: Callable[[], Any], label: str = "",
+        passive: bool = False,
     ) -> ScheduledEvent:
         """Schedule ``action`` at absolute virtual time ``time``."""
         if time < self.clock.now:
             raise ValueError(
                 f"cannot schedule in the past: now={self.clock.now}, t={time}"
             )
-        ev = ScheduledEvent(time=time, seq=next(self._seq), action=action, label=label)
+        ev = ScheduledEvent(time=time, seq=next(self._seq), action=action,
+                            label=label, passive=passive, queue=self)
         heapq.heappush(self._heap, ev)
         return ev
 
     def schedule_in(
-        self, delay: float, action: Callable[[], Any], label: str = ""
+        self, delay: float, action: Callable[[], Any], label: str = "",
+        passive: bool = False,
     ) -> ScheduledEvent:
         """Schedule ``action`` ``delay`` seconds from now."""
-        return self.schedule_at(self.clock.now + delay, action, label=label)
+        return self.schedule_at(self.clock.now + delay, action, label=label,
+                                passive=passive)
 
+    def schedule_every(
+        self, interval: float, action: Callable[[], Any], label: str = "",
+        first_at: Optional[float] = None, passive: bool = False,
+    ) -> RecurringEvent:
+        """Schedule ``action`` every ``interval`` virtual seconds.
+
+        The first occurrence fires at ``first_at`` (default: one interval
+        from now); each firing schedules the next.  Returns a
+        :class:`RecurringEvent` whose ``cancel()`` stops the series.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        handle = RecurringEvent(label=label)
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            handle.fired += 1
+            action()
+            if not handle.cancelled:
+                handle.event = self.schedule_in(interval, fire, label=label,
+                                                passive=passive)
+
+        start = self.clock.now + interval if first_at is None else first_at
+        handle.event = self.schedule_at(start, fire, label=label,
+                                        passive=passive)
+        return handle
+
+    # -- execution -----------------------------------------------------
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None if the queue is empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            self._pop_cancelled_head()
         return self._heap[0].time if self._heap else None
 
+    def next_active_time(self) -> Optional[float]:
+        """Timestamp of the next live **non-passive** event, if any.
+
+        The idle fast-forward uses this as its planning horizon: passive
+        events (converged-cluster resyncs) cannot change what the workload
+        would do, so skipping *past* their fire time is safe — they still
+        fire at it.  Linear scan; the queue holds a handful of live
+        entries (tick chain + timelines), not thousands.
+        """
+        times = [e.time for e in self._heap
+                 if not e.cancelled and not e.passive]
+        return min(times) if times else None
+
     def step(self) -> Optional[ScheduledEvent]:
-        """Pop and fire the next live event, advancing the clock to it."""
+        """Pop and fire the next live event, advancing the clock to it.
+
+        An overdue event (scheduled before ``clock.now`` — possible when
+        something advanced the shared clock without running the queue,
+        e.g. the legacy ``run_for`` tick loop) fires immediately at the
+        current time rather than moving the clock backwards."""
         while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+            if self._heap[0].cancelled:
+                self._pop_cancelled_head()
                 continue
-            self.clock.advance_to(ev.time)
+            ev = heapq.heappop(self._heap)
+            ev.fired = True
+            if ev.time > self.clock.now:
+                self.clock.advance_to(ev.time)
             ev.action()
             return ev
         return None
@@ -102,3 +221,9 @@ class EventQueue:
         if self.clock.now < t:
             self.clock.advance_to(t)
         return fired
+
+    def run_for(self, seconds: float) -> int:
+        """Fire every event in the next ``seconds`` of virtual time."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        return self.run_until(self.clock.now + seconds)

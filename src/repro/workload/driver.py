@@ -1,11 +1,27 @@
-"""Drives the service runtime: issues requests as virtual time advances."""
+"""Drives the service runtime: issues requests as virtual time advances.
+
+Two execution paths share the same per-tick arithmetic:
+
+* the **event kernel** path (:meth:`WorkloadDriver.run_events`): arrival
+  ticks are :class:`~repro.simcore.events.ScheduledEvent`\\ s on the
+  environment's :class:`~repro.simcore.events.EventQueue`, interleaved with
+  telemetry, controller-resync and fault-timeline events, and provably idle
+  spans are fast-forwarded instead of ticked through;
+* the **legacy tick loop** (:meth:`WorkloadDriver.run_for`): the seed's
+  hand-rolled 1-second loop, kept as the bit-exact reference
+  implementation and for standalone drivers without a queue.
+
+Both produce identical :class:`WorkloadStats`, RNG draw order and scrape
+timestamps for any window sequence — the kernel-equivalence regression
+test asserts this.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.simcore import RngStream
+from repro.simcore import EventQueue, RngStream
 from repro.services.runtime import RequestResult, ServiceRuntime
 from repro.workload.policies import ConstantRate, RatePolicy
 
@@ -31,14 +47,20 @@ class WorkloadStats:
 class WorkloadDriver:
     """Open-loop load generator over the shared virtual clock.
 
-    Each call to :meth:`run_for` advances time in 1-second ticks; every tick
-    issues ``policy.rate(t)`` requests (fractional rates accumulate), with
-    operations drawn from the app's weighted mix, and scrapes telemetry
-    every ``scrape_interval`` seconds.
+    Each virtual second issues ``policy.rate(t)`` requests (fractional
+    rates accumulate), with operations drawn from the app's weighted mix,
+    and telemetry is scraped every ``scrape_interval`` seconds.
 
-    The orchestrator calls ``run_for`` between agent actions, so the system
-    keeps "living" while the agent thinks — the dynamic-environment property
-    the paper contrasts against static-dataset benchmarks.
+    The orchestrator advances the environment between agent actions, so the
+    system keeps "living" while the agent thinks — the dynamic-environment
+    property the paper contrasts against static-dataset benchmarks.
+
+    Parameters
+    ----------
+    queue:
+        The environment's event queue.  When set, :meth:`run_events`
+        schedules arrival ticks as events (the kernel path); without it
+        only the legacy :meth:`run_for` loop is available.
     """
 
     def __init__(
@@ -49,11 +71,14 @@ class WorkloadDriver:
         scrape_interval: float = 5.0,
         seed: int = 0,
         max_requests_per_tick: int = 200,
+        queue: Optional[EventQueue] = None,
     ) -> None:
         if not mix:
             raise ValueError("workload mix must not be empty")
         self.runtime = runtime
-        self.policy = policy or ConstantRate(100.0)
+        self._policy: RatePolicy = policy or ConstantRate(100.0)
+        self._zero_hint: Optional[Callable[[float], Optional[float]]] = \
+            getattr(self._policy, "zero_until", None)
         self.scrape_interval = scrape_interval
         self.rng = RngStream(seed, "workload")
         self.stats = WorkloadStats()
@@ -64,7 +89,30 @@ class WorkloadDriver:
         self._carry = 0.0
         self._last_scrape = runtime.clock.now
         self.recent_results: list[RequestResult] = []
+        self.queue = queue
+        self._window_start = runtime.clock.now
+        self._window_end = runtime.clock.now
 
+    # ------------------------------------------------------------------
+    # policy (kept a property so the idle-span hint stays in sync when a
+    # scheduled rate-change event swaps the policy mid-run)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> RatePolicy:
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: RatePolicy) -> None:
+        self._policy = policy
+        self._zero_hint = getattr(policy, "zero_until", None)
+
+    def attach_queue(self, queue: EventQueue) -> None:
+        """Bind the driver to an event queue (enables :meth:`run_events`)."""
+        self.queue = queue
+
+    # ------------------------------------------------------------------
+    # shared per-request work
+    # ------------------------------------------------------------------
     def _issue_one(self) -> RequestResult:
         op = self.rng.choice(self._ops, p=self._weights)
         result = self.runtime.execute(op)
@@ -78,8 +126,103 @@ class WorkloadDriver:
             del self.recent_results[:250]
         return result
 
+    def _scrape(self) -> None:
+        self.runtime.collector.scrape(
+            self.runtime.cluster, self.runtime.namespace
+        )
+        self._last_scrape = self.runtime.clock.now
+
+    # ------------------------------------------------------------------
+    # event-kernel path
+    # ------------------------------------------------------------------
+    def run_events(self, seconds: float) -> WorkloadStats:
+        """Advance ``seconds`` of virtual time through the event queue.
+
+        Schedules this window's arrival-tick chain and runs the queue, so
+        fault timelines, controller resync and any other scheduled events
+        interleave with the workload on one timeline.  Produces the same
+        stats, RNG draw order and scrape times as :meth:`run_for`.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if self.queue is None:
+            raise RuntimeError(
+                "driver has no event queue; use attach_queue() or run_for()")
+        clock = self.runtime.clock
+        self._window_start = clock.now
+        self._window_end = clock.now + seconds
+        self.queue.schedule_at(clock.now, self._tick, label="workload.tick")
+        self.queue.run_until(self._window_end)
+        return self.stats
+
+    def _tick(self) -> None:
+        """One arrival tick: scrape if due, issue this second's load, and
+        schedule the next boundary (fast-forwarding idle spans)."""
+        clock = self.runtime.clock
+        now = clock.now
+        end = self._window_end
+        # The scrape check mirrors the legacy loop: it runs at every
+        # post-advance boundary, i.e. never at the window's start.
+        if now > self._window_start \
+                and now - self._last_scrape >= self.scrape_interval:
+            self._scrape()
+        if now >= end:
+            return
+        step = min(1.0, end - now)
+        want = self._policy.rate(now) * step + self._carry
+        n = int(want)
+        self._carry = want - n
+        # Cap per-tick volume so pathological policies can't stall a run;
+        # the cap is generous relative to the paper's wrk rate of 100/s.
+        for _ in range(min(n, self.max_requests_per_tick)):
+            self._issue_one()
+        self._schedule_next_tick(now + step)
+
+    def _schedule_next_tick(self, at: float) -> None:
+        """Schedule the next tick, skipping boundaries that are provably
+        no-ops: while the policy's rate is exactly zero no requests arrive
+        and the carry cannot change, so only boundaries where a scrape is
+        due (or the window/zero-span ends) need an event.  Boundary times
+        are walked with the same float additions the legacy loop performs,
+        keeping scrape timestamps bit-identical.
+
+        The walk never passes a queued event: any event may mutate the
+        driver (a ``set_rate`` timeline entry swaps the policy), so the
+        zero-rate proof only holds up to the next event's fire time — the
+        tick resumes at the first boundary at or after it."""
+        end = self._window_end
+        if self._zero_hint is not None and at < end:
+            horizon = self._zero_hint(at)
+            if horizon is not None and horizon > at:
+                next_event = self.queue.next_active_time()
+                b = at
+                while b < end \
+                        and not (b - self._last_scrape >= self.scrape_interval):
+                    if next_event is not None and b >= next_event:
+                        break
+                    nb = b + min(1.0, end - b)
+                    if nb > horizon:
+                        break
+                    b = nb
+                at = b
+        self.queue.schedule_at(at, self._tick, label="workload.tick")
+
+    # ------------------------------------------------------------------
+    # legacy tick loop
+    # ------------------------------------------------------------------
     def run_for(self, seconds: float) -> WorkloadStats:
-        """Advance virtual time by ``seconds``, issuing load along the way."""
+        """Advance virtual time by ``seconds``, issuing load along the way.
+
+        .. deprecated:: 2.1
+            The seed's hand-rolled 1-second tick loop.  It advances the
+            clock directly and fires **no** scheduled events: fault
+            timelines and resync events stall under it until the next
+            queue run, where anything now overdue fires (late) at the
+            then-current time.  It is kept as the bit-exact reference
+            implementation for the kernel-equivalence test and for
+            standalone drivers; everything environment-level goes through
+            ``CloudEnvironment.advance`` (the event kernel) instead.
+        """
         if seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {seconds}")
         clock = self.runtime.clock
@@ -87,17 +230,12 @@ class WorkloadDriver:
         while clock.now < end:
             step = min(1.0, end - clock.now)
             t = clock.now
-            want = self.policy.rate(t) * step + self._carry
+            want = self._policy.rate(t) * step + self._carry
             n = int(want)
             self._carry = want - n
-            # Cap per-tick volume so pathological policies can't stall a run;
-            # the cap is generous relative to the paper's wrk rate of 100/s.
             for _ in range(min(n, self.max_requests_per_tick)):
                 self._issue_one()
             clock.advance(step)
             if clock.now - self._last_scrape >= self.scrape_interval:
-                self.runtime.collector.scrape(
-                    self.runtime.cluster, self.runtime.namespace
-                )
-                self._last_scrape = clock.now
+                self._scrape()
         return self.stats

@@ -8,7 +8,15 @@ from typing import Protocol, Sequence
 
 
 class RatePolicy(Protocol):
-    """Maps virtual time to an offered request rate (req/s)."""
+    """Maps virtual time to an offered request rate (req/s).
+
+    Policies may additionally implement ``zero_until(t) -> float | None``:
+    if the rate is *exactly* zero everywhere on ``[t, u)`` return ``u``
+    (``math.inf`` for "forever"), else return ``None``.  The event kernel
+    uses this hint to fast-forward across provably idle spans instead of
+    evaluating every tick; a policy without the hint is simply never
+    fast-forwarded.
+    """
 
     def rate(self, t: float) -> float:  # pragma: no cover - protocol
         ...
@@ -24,6 +32,9 @@ class ConstantRate:
         if self.rps < 0:
             raise ValueError(f"rate must be >= 0, got {self.rps}")
         return self.rps
+
+    def zero_until(self, t: float) -> float | None:
+        return math.inf if self.rps == 0 else None
 
 
 @dataclass
@@ -74,6 +85,16 @@ class SpikeRate:
             return self.base * self.spike_factor
         return self.base
 
+    def zero_until(self, t: float) -> float | None:
+        if self.base != 0:
+            return None
+        # base 0: idle except (possibly) during the spike window
+        if t < self.at:
+            return self.at
+        if t < self.at + self.duration:
+            return None if self.spike_factor != 0 else math.inf
+        return math.inf
+
 
 @dataclass
 class ReplayTrace:
@@ -89,3 +110,11 @@ class ReplayTrace:
             else:
                 break
         return current
+
+    def zero_until(self, t: float) -> float | None:
+        if self.rate(t) != 0.0:
+            return None
+        for ts, r in self.points:
+            if ts > t and r != 0.0:
+                return ts
+        return math.inf

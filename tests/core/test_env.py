@@ -68,3 +68,137 @@ class TestCloudEnvironment:
         b.advance(10)
         assert a.driver.stats.errors == b.driver.stats.errors
         assert a.driver.stats.per_operation == b.driver.stats.per_operation
+
+
+class TestEnvironmentKernel:
+    def test_env_owns_one_queue_on_shared_clock(self):
+        env = CloudEnvironment(HotelReservation, seed=1)
+        assert env.queue.clock is env.clock
+        assert env.driver.queue is env.queue
+
+    def test_scheduled_event_fires_during_advance(self):
+        env = CloudEnvironment(HotelReservation, seed=1, workload_rate=30)
+        fired = []
+        env.queue.schedule_at(7.5, lambda: fired.append(env.clock.now))
+        env.advance(10)
+        assert fired == [7.5]
+
+    def test_periodic_resync_scheduled(self):
+        env = CloudEnvironment(HotelReservation, seed=1, workload_rate=30,
+                               resync_interval=20.0)
+        env.advance(50)
+        assert env._resync.fired == 2
+        env2 = CloudEnvironment(HotelReservation, seed=1, workload_rate=30,
+                                resync_interval=0.0)
+        assert env2._resync is None
+
+
+class TestEnvironmentClose:
+    def test_close_removes_owned_export_root(self):
+        env = CloudEnvironment(HotelReservation, seed=1)
+        env.exporter.export_metrics()
+        root = env.export_root
+        assert root.exists()
+        env.close()
+        assert not root.exists()
+        assert env.closed
+
+    def test_close_is_idempotent(self):
+        env = CloudEnvironment(HotelReservation, seed=1)
+        env.close()
+        env.close()
+
+    def test_close_keeps_caller_provided_root(self, tmp_path):
+        root = tmp_path / "telemetry"
+        env = CloudEnvironment(HotelReservation, seed=1, export_root=root)
+        env.exporter.export_metrics()
+        env.close()
+        assert root.exists()
+
+    def test_orchestrator_release_closes_env(self):
+        from repro.core import Orchestrator
+        from repro.problems import benchmark_pids
+
+        orch = Orchestrator(seed=0)
+        handle = orch.create_session(benchmark_pids()[0])
+        root = handle.env.export_root
+        assert root.exists()
+        orch.release(handle)
+        assert not root.exists()
+
+    def test_batch_release_handles_closes_envs(self):
+        from repro.agents.registry import agent_factory
+        from repro.core.batch import SessionSpec, run_sessions_sync
+
+        spec = SessionSpec(
+            problem="revoke_auth_hotel_res-detection-1",
+            agent=agent_factory("flash"), agent_name="flash",
+            seed=2, max_steps=4)
+        outcomes = run_sessions_sync([spec], concurrency=1,
+                                     release_handles=True)
+        assert outcomes[0].ok
+        assert outcomes[0].handle is None
+
+    def test_batch_release_handles_closes_env_on_failure(self):
+        """A case whose agent factory raises must still release its env
+        (no one-leaked-dir-per-failed-case)."""
+        from repro.core.problem import DetectionTask
+        from repro.core.batch import SessionSpec, run_sessions_sync
+
+        class RememberingProblem(DetectionTask):
+            def create_environment(self, seed=0):
+                self.env_ref = super().create_environment(seed)
+                return self.env_ref
+
+        def exploding_factory(context, task_type, seed):
+            raise RuntimeError("boom")
+
+        prob = RememberingProblem("RevokeAuth")
+        spec = SessionSpec(problem=prob, agent=exploding_factory, seed=2)
+        outcomes = run_sessions_sync([spec], concurrency=1,
+                                     release_handles=True)
+        assert not outcomes[0].ok
+        assert isinstance(outcomes[0].error, RuntimeError)
+        assert outcomes[0].handle is None
+        assert prob.env_ref.closed
+        assert not prob.env_ref.export_root.exists()
+
+    def test_batch_release_handles_untracks_from_orchestrator(self):
+        from repro.agents.registry import agent_factory
+        from repro.core import Orchestrator
+        from repro.core.batch import SessionSpec, run_sessions_sync
+
+        orch = Orchestrator(seed=0)
+        spec = SessionSpec(
+            problem="revoke_auth_hotel_res-detection-1",
+            agent=agent_factory("flash"), agent_name="flash",
+            seed=2, max_steps=4)
+        outcomes = run_sessions_sync([spec], concurrency=1,
+                                     orchestrator=orch,
+                                     release_handles=True)
+        assert outcomes[0].ok
+        assert orch.handles == []
+
+    def test_batch_failure_keeps_partial_trajectory(self):
+        """A case that fails mid-run still exposes its partial session."""
+        from repro.core.problem import DetectionTask
+        from repro.core.batch import SessionSpec, run_sessions_sync
+
+        class FlakyAgent:
+            def __init__(self):
+                self.calls = 0
+
+            def get_action(self, state):
+                self.calls += 1
+                if self.calls > 1:
+                    raise RuntimeError("mid-run crash")
+                return 'get_metrics("test-hotel-reservation")'
+
+        spec = SessionSpec(problem=DetectionTask("RevokeAuth"),
+                           agent=FlakyAgent(), seed=2, max_steps=5)
+        outcomes = run_sessions_sync([spec], concurrency=1,
+                                     release_handles=True)
+        assert not outcomes[0].ok
+        assert outcomes[0].handle is None
+        assert outcomes[0].session is not None
+        assert len(outcomes[0].session.steps) == 1

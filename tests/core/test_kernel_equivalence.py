@@ -1,0 +1,163 @@
+"""The event kernel must be bit-identical to the seed's tick loop.
+
+``CloudEnvironment.advance`` runs the discrete-event kernel
+(``driver.run_events``); the seed's hand-rolled 1-second tick loop survives
+as ``driver.run_for``.  For any window sequence and fixed seed the two must
+produce the same ``WorkloadStats``, the same RNG draw order (hence
+bit-equal telemetry values) and the same scrape timestamps — this is what
+lets the 48-problem benchmark keep its per-problem results unchanged while
+the environment gains scheduled fault timelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import HotelReservation, SocialNetwork
+from repro.bench import BenchmarkRunner
+from repro.core import CloudEnvironment
+from repro.problems import scenario_pids
+from repro.workload import ConstantRate
+
+#: deliberately irregular: fractional windows move the tick grid around,
+#: which is exactly what agent think-time latencies do in real sessions
+WINDOWS = [30.0, 3.7, 5.0, 0.4, 12.3, 1.0, 17.77, 0.0, 8.25]
+
+
+def stats_key(env):
+    s = env.driver.stats
+    return (s.requests, s.errors, s.latency_sum_ms, dict(s.per_operation))
+
+
+def scrape_series(env, service="geo"):
+    """(timestamps, values) of a scraped metric — bit-equal iff scrape
+    times and the telemetry RNG draw order both match."""
+    series = env.collector.metrics.series(service, "cpu_usage")
+    assert series is not None
+    return series.window()
+
+
+class TestKernelEquivalence:
+    def _pair(self, app=HotelReservation, **kwargs):
+        return (CloudEnvironment(app, **kwargs),
+                CloudEnvironment(app, **kwargs))
+
+    def test_irregular_windows_bit_identical(self):
+        kernel, legacy = self._pair(seed=3, workload_rate=45)
+        for w in WINDOWS:
+            kernel.advance(w)
+            legacy.driver.run_for(w)
+        assert kernel.clock.now == legacy.clock.now
+        assert stats_key(kernel) == stats_key(legacy)
+        tk, vk = scrape_series(kernel)
+        tl, vl = scrape_series(legacy)
+        assert np.array_equal(tk, tl), "scrape timestamps diverged"
+        assert np.array_equal(vk, vl), "telemetry RNG draw order diverged"
+
+    def test_social_network_app_equivalent(self):
+        kernel, legacy = self._pair(app=SocialNetwork, seed=9,
+                                    workload_rate=30)
+        for w in [30.0, 2.5, 2.5, 41.0]:
+            kernel.advance(w)
+            legacy.driver.run_for(w)
+        assert stats_key(kernel) == stats_key(legacy)
+        tk, vk = scrape_series(kernel, "user-service")
+        tl, vl = scrape_series(legacy, "user-service")
+        assert np.array_equal(tk, tl) and np.array_equal(vk, vl)
+
+    def test_fault_mid_run_equivalent(self):
+        """Error outcomes (and their RNG draws) line up under a fault."""
+        kernel, legacy = self._pair(seed=5, workload_rate=40)
+        for env in (kernel, legacy):
+            env.app.backends["mongodb-geo"].revoke_roles("admin")
+        kernel.advance(25.0)
+        legacy.driver.run_for(25.0)
+        assert kernel.driver.stats.errors > 0
+        assert stats_key(kernel) == stats_key(legacy)
+
+    def test_zero_rate_fast_forward_equivalent(self):
+        """The idle fast-path skips boundaries but not scrapes."""
+        kernel, legacy = self._pair(seed=7, policy=ConstantRate(0.0))
+        kernel.advance(1000.0)
+        legacy.driver.run_for(1000.0)
+        assert kernel.driver.stats.requests == 0
+        assert stats_key(kernel) == stats_key(legacy)
+        tk, vk = scrape_series(kernel)
+        tl, vl = scrape_series(legacy)
+        assert len(tk) == 200  # every 5s scrape still happened
+        assert np.array_equal(tk, tl) and np.array_equal(vk, vl)
+
+    def test_zero_rate_fractional_window_grid(self):
+        """Fast-forwarded boundary times must use the same float
+        accumulation as the loop even off the integer grid."""
+        kernel, legacy = self._pair(seed=1, policy=ConstantRate(0.0))
+        for w in [7.3, 93.1, 0.6, 55.55]:
+            kernel.advance(w)
+            legacy.driver.run_for(w)
+        tk, _ = scrape_series(kernel)
+        tl, _ = scrape_series(legacy)
+        assert np.array_equal(tk, tl)
+
+    def test_probe_error_rate_equivalent(self):
+        kernel, legacy = self._pair(seed=2, workload_rate=30)
+        for env in (kernel, legacy):
+            env.app.backends["mongodb-geo"].revoke_roles("admin")
+        k = kernel.probe_error_rate(10)
+        legacy.driver.run_for(10)
+        s = legacy.driver.stats
+        assert k == pytest.approx(s.errors / s.requests)
+        assert stats_key(kernel) == stats_key(legacy)
+
+
+class TestKernelRobustness:
+    def test_legacy_run_for_does_not_poison_queue(self):
+        """run_for advances the clock past pending events (it bypasses the
+        queue); the next advance() must fire them late, not crash."""
+        env = CloudEnvironment(HotelReservation, seed=1, workload_rate=30)
+        env.driver.run_for(40.0)          # resync event at t=30 now overdue
+        env.advance(10.0)                 # must not raise
+        assert env.clock.now == 50.0
+
+    def test_fast_forward_respects_queued_rate_change(self):
+        """A set_rate-style event inside an idle span must not be skipped
+        over: load resumes at the first boundary after it fires."""
+        from repro.workload import ConstantRate as CR
+        env = CloudEnvironment(HotelReservation, seed=1, policy=CR(0.0))
+        env.queue.schedule_at(
+            2.0, lambda: setattr(env.driver, "policy", CR(50.0)))
+        env.advance(10.0)
+        # boundaries 2..9 each issue 50 requests under the new policy
+        assert env.driver.stats.requests == 400
+
+    def test_passive_resync_does_not_cap_fast_forward(self):
+        """The recurring resync is passive, so idle spans still skip whole
+        scrape intervals across its fire times (and it still fires)."""
+        env = CloudEnvironment(HotelReservation, seed=1,
+                               policy=ConstantRate(0.0),
+                               resync_interval=30.0)
+        env.driver.scrape_interval = 300.0
+        env.advance(900.0)
+        assert env._resync.fired == 30
+        assert env.driver.stats.requests == 0
+
+
+class TestKernelConcurrencyDeterminism:
+    """Scenario problems run on the kernel; fan-out must stay bit-identical
+    to serial, exactly like the benchmark problems."""
+
+    PIDS = ("delayed_revoke_auth_hotel_res-detection-1",
+            "cascade_geo_outage_hotel_res-localization-1")
+
+    @staticmethod
+    def case_key(case):
+        return (case.agent, case.pid, case.success, case.steps,
+                case.duration_s, case.input_tokens, case.output_tokens,
+                sorted(case.details.items()))
+
+    def test_concurrency_1_and_4_identical(self):
+        assert set(self.PIDS) <= set(scenario_pids())
+        serial = BenchmarkRunner(max_steps=12, seed=6, concurrency=1) \
+            .run_suite(agents=("gpt-4-w-shell",), pids=self.PIDS)
+        fanout = BenchmarkRunner(max_steps=12, seed=6, concurrency=4) \
+            .run_suite(agents=("gpt-4-w-shell",), pids=self.PIDS)
+        assert [self.case_key(c) for c in serial.cases] == \
+            [self.case_key(c) for c in fanout.cases]

@@ -1,0 +1,160 @@
+"""FaultSchedule: timelines armed on the environment's event kernel."""
+
+import math
+
+import pytest
+
+from repro.apps import HotelReservation
+from repro.core import CloudEnvironment
+from repro.faults import FaultSchedule, resolve_fault_spec
+from repro.workload import BurstRate, ConstantRate
+
+
+@pytest.fixture
+def env():
+    return CloudEnvironment(HotelReservation, seed=1, workload_rate=30)
+
+
+class TestResolveFaultSpec:
+    def test_by_name_number_and_key(self):
+        assert resolve_fault_spec("RevokeAuth").fault_key == "revoke_auth"
+        assert resolve_fault_spec(3).fault_key == "revoke_auth"
+        assert resolve_fault_spec("revoke_auth").name == "RevokeAuth"
+
+    def test_unknown_fault_raises(self):
+        with pytest.raises(KeyError):
+            resolve_fault_spec("NoSuchFault")
+
+
+class TestBuilders:
+    def test_delayed(self):
+        s = FaultSchedule.delayed("RevokeAuth", ("mongodb-geo",), 45.0)
+        assert [(e.at, e.kind) for e in s.entries] == [(45.0, "inject")]
+        assert s.duration == 45.0
+
+    def test_flapping_shape(self):
+        s = FaultSchedule.flapping("NetworkLoss", ("search",), start=5.0,
+                                   period=30.0, on_for=15.0, cycles=3)
+        assert [(e.at, e.kind) for e in s.entries] == [
+            (5.0, "inject"), (20.0, "recover"),
+            (35.0, "inject"), (50.0, "recover"),
+            (65.0, "inject"), (80.0, "recover"),
+        ]
+
+    def test_flapping_validation(self):
+        with pytest.raises(ValueError, match="on_for"):
+            FaultSchedule.flapping("NetworkLoss", ("search",),
+                                   period=10.0, on_for=10.0)
+        with pytest.raises(ValueError, match="cycles"):
+            FaultSchedule.flapping("NetworkLoss", ("search",), cycles=0)
+
+    def test_cascade_orders_entries(self):
+        s = FaultSchedule.cascade([
+            (50.0, "PodFailure", ("recommendation",)),
+            (10.0, "RevokeAuth", ("mongodb-geo",)),
+        ])
+        assert [e.at for e in s.entries] == [10.0, 50.0]
+
+    def test_unknown_fault_fails_at_build_time(self):
+        with pytest.raises(KeyError):
+            FaultSchedule().inject(1.0, "Bogus", ("x",))
+
+    def test_injectorless_fault_fails_at_build_time(self):
+        with pytest.raises(ValueError, match="no injector"):
+            FaultSchedule().inject(1.0, "Noop", ("geo",))
+
+    def test_prebuilt_entries_validated_in_init(self):
+        from repro.faults import TimelineEntry
+        with pytest.raises(KeyError):
+            FaultSchedule([TimelineEntry(5.0, "inject", "RevokeAuht",
+                                         ("mongodb-geo",))])
+        with pytest.raises(ValueError, match="unknown timeline kind"):
+            FaultSchedule([TimelineEntry(5.0, "explode", "RevokeAuth",
+                                         ("mongodb-geo",))])
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultSchedule([TimelineEntry(-5.0, "inject", "RevokeAuth",
+                                         ("mongodb-geo",))])
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultSchedule().set_rate(-1.0, ConstantRate(0.0))
+
+
+class TestArmedSchedule:
+    def test_delayed_onset_fires_mid_run(self, env):
+        armed = FaultSchedule.delayed("RevokeAuth", ("mongodb-geo",),
+                                      20.0).arm(env)
+        env.advance(10.0)
+        assert env.driver.stats.errors == 0
+        assert armed.pending == 1
+        env.advance(30.0)
+        assert armed.pending == 0
+        assert env.driver.stats.errors > 0
+        assert armed.log and armed.log[0][0] == 20.0
+
+    def test_flapping_injects_and_recovers(self, env):
+        armed = FaultSchedule.flapping(
+            "RevokeAuth", ("mongodb-geo",), start=5.0, period=20.0,
+            on_for=10.0, cycles=2).arm(env)
+        env.advance(60.0)
+        kinds = [d.split()[0] for _, d in armed.log]
+        assert kinds == ["inject", "recover", "inject", "recover"]
+        # fault off at the end: fresh traffic succeeds again
+        assert env.probe_error_rate(10.0) == 0.0
+
+    def test_cascade_two_stages(self, env):
+        armed = FaultSchedule.cascade([
+            (5.0, "RevokeAuth", ("mongodb-geo",)),
+            (15.0, "PodFailure", ("recommendation",)),
+        ]).arm(env)
+        env.advance(10.0)
+        assert len(armed.log) == 1
+        env.advance(10.0)
+        assert len(armed.log) == 2
+        pods = [p for p in env.cluster.pods_in(env.namespace)
+                if p.owner == "recommendation"]
+        assert pods and all(p.crash_looping for p in pods)
+
+    def test_set_rate_swaps_policy_at_time(self, env):
+        burst = BurstRate(base=30.0)
+        FaultSchedule().set_rate(12.0, burst).arm(env)
+        env.advance(10.0)
+        assert env.driver.policy is not burst
+        env.advance(5.0)
+        assert env.driver.policy is burst
+
+    def test_cancel_pending_stops_timeline(self, env):
+        armed = FaultSchedule.delayed("RevokeAuth", ("mongodb-geo",),
+                                      20.0).arm(env)
+        armed.cancel_pending()
+        env.advance(40.0)
+        assert armed.log == []
+        assert env.driver.stats.errors == 0
+
+    def test_recover_all_undoes_live_injections(self, env):
+        armed = FaultSchedule.delayed("RevokeAuth", ("mongodb-geo",),
+                                      5.0).arm(env)
+        env.advance(10.0)
+        assert env.driver.stats.errors > 0
+        armed.recover_all()
+        assert env.probe_error_rate(10.0) == 0.0
+
+    def test_relative_to_arm_time(self, env):
+        env.advance(30.0)
+        armed = FaultSchedule.delayed("RevokeAuth", ("mongodb-geo",),
+                                      10.0).arm(env)
+        env.advance(20.0)
+        assert armed.log[0][0] == 40.0
+
+    def test_zero_rate_fast_forward_still_fires_timeline(self):
+        """Timeline events land inside fast-forwarded idle spans."""
+        env = CloudEnvironment(HotelReservation, seed=1,
+                               policy=ConstantRate(0.0))
+        armed = FaultSchedule.delayed("RevokeAuth", ("mongodb-geo",),
+                                      333.3).arm(env)
+        env.advance(1000.0)
+        assert [t for t, _ in armed.log] == [333.3]
+
+    def test_infinite_horizon_hint(self):
+        assert ConstantRate(0.0).zero_until(0.0) == math.inf
+        assert ConstantRate(10.0).zero_until(0.0) is None

@@ -1,0 +1,99 @@
+"""Scenario problems: scheduled-fault timelines end-to-end via sessions."""
+
+import pytest
+
+from repro.agents.registry import build_agent_for
+from repro.core import Orchestrator
+from repro.problems import (
+    benchmark_pids,
+    get_problem,
+    list_problems,
+    scenario_pids,
+)
+
+
+class TestScenarioRegistration:
+    def test_at_least_four_scenarios(self):
+        assert len(scenario_pids()) >= 4
+
+    def test_benchmark_set_untouched(self):
+        assert len(benchmark_pids()) == 48
+        assert not set(scenario_pids()) & set(benchmark_pids())
+
+    def test_default_listing_excludes_scenarios(self):
+        assert len(list_problems()) == 48
+        with_scen = list_problems(include_scenarios=True)
+        assert set(scenario_pids()) <= set(with_scen)
+
+    def test_get_problem_resolves_scenarios(self):
+        for pid in scenario_pids():
+            prob = get_problem(pid)
+            assert prob.pid == pid
+
+    def test_scenario_shapes_present(self):
+        pids = " ".join(scenario_pids())
+        assert "delayed" in pids
+        assert "flapping" in pids
+        assert "cascade" in pids
+
+
+class TestScenarioSessions:
+    @pytest.mark.parametrize("pid", [
+        "delayed_revoke_auth_hotel_res-detection-1",
+        "flapping_network_loss_hotel_res-detection-1",
+        "flapping_pod_failure_hotel_res-localization-1",
+        "cascade_geo_outage_hotel_res-localization-1",
+        "surge_revoke_auth_hotel_res-mitigation-1",
+    ])
+    def test_runs_end_to_end_via_create_session(self, pid):
+        orch = Orchestrator(seed=0)
+        prob = get_problem(pid)
+        handle = orch.create_session(prob, seed=11)
+        agent = build_agent_for("gpt-4-w-shell", handle.context,
+                                prob.task_type, seed=11)
+        handle.bind_agent(agent, name="gpt-4-w-shell")
+        result = handle.run_sync(max_steps=12)
+        assert result["pid"] == pid
+        assert isinstance(result["success"], bool)
+        assert result["steps"] >= 1
+        assert prob.armed is not None, "timeline must be armed"
+        orch.release(handle)
+
+    def test_timeline_fires_during_session(self):
+        """The environment changes *while the agent works* — the dynamic
+        property the scenarios exist to exercise."""
+        orch = Orchestrator(seed=0)
+        prob = get_problem("flapping_network_loss_hotel_res-detection-1")
+        handle = orch.create_session(prob, seed=11)
+        started = handle.env.clock.now
+        agent = build_agent_for("flash", handle.context, prob.task_type,
+                                seed=11)
+        handle.bind_agent(agent, name="flash")
+        handle.run_sync(max_steps=12)
+        fired_during_session = [t for t, _ in prob.armed.log if t > started]
+        assert fired_during_session, \
+            "at least one timeline entry must fire mid-session"
+        orch.release(handle)
+
+    def test_recover_fault_stops_and_cleans(self):
+        prob = get_problem("delayed_revoke_auth_hotel_res-detection-1")
+        env = prob.create_environment(seed=4)
+        prob.start_workload(env)
+        prob.inject_fault(env)
+        assert prob.armed.pending == 1
+        prob.recover_fault(env)
+        assert prob.armed.pending == 0
+        env.advance(60.0)
+        assert prob.armed.log == []
+        assert env.probe_error_rate(10.0) == 0.0
+        env.close()
+
+    def test_delayed_onset_healthy_at_session_start(self):
+        prob = get_problem("delayed_revoke_auth_hotel_res-detection-1")
+        env = prob.create_environment(seed=4)
+        prob.start_workload(env)
+        prob.inject_fault(env)     # soak 30s < 40s onset delay
+        assert env.driver.stats.errors == 0
+        env.advance(20.0)          # ...but it breaks shortly after
+        assert env.driver.stats.errors > 0
+        env.close()

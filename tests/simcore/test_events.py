@@ -82,3 +82,101 @@ class TestEventQueue:
         queue.schedule_at(1.0, outer)
         queue.run_until(5.0)
         assert fired == ["outer", "inner"]
+
+    def test_run_for_relative_window(self, queue):
+        queue.clock.advance(10.0)
+        fired = []
+        queue.schedule_at(12.0, lambda: fired.append("x"))
+        assert queue.run_for(5.0) == 1
+        assert queue.clock.now == 15.0
+
+    def test_cancel_after_fire_is_noop(self, queue):
+        ev = queue.schedule_at(1.0, lambda: None)
+        queue.run_until(2.0)
+        assert ev.fired
+        ev.cancel()          # must not corrupt the queue's bookkeeping
+        assert not ev.cancelled
+        assert len(queue) == 0
+
+
+class TestCancellationCompaction:
+    """Cancelled events must not accumulate in the heap forever."""
+
+    def test_heap_compacts_when_cancelled_majority(self, queue):
+        events = [queue.schedule_at(float(i + 1), lambda: None)
+                  for i in range(100)]
+        for ev in events[:60]:
+            ev.cancel()
+        # more than half the heap was cancelled -> it must have compacted
+        # at least once (without compaction all 100 entries would remain)
+        assert len(queue._heap) <= 50
+        assert len(queue) == 40
+
+    def test_small_heaps_skip_compaction(self, queue):
+        events = [queue.schedule_at(float(i + 1), lambda: None)
+                  for i in range(4)]
+        for ev in events[:3]:
+            ev.cancel()
+        # under the compaction minimum the dead entries just wait for pops
+        assert len(queue._heap) == 4
+        assert len(queue) == 1
+
+    def test_compaction_preserves_order_and_len(self, queue):
+        fired = []
+        events = [queue.schedule_at(float(i + 1), lambda i=i: fired.append(i))
+                  for i in range(50)]
+        for ev in events[::2]:       # cancel every even event
+            ev.cancel()
+        assert len(queue) == 25
+        queue.run_until(100.0)
+        assert fired == list(range(1, 50, 2))
+
+    def test_repeated_cancel_counts_once(self, queue):
+        events = [queue.schedule_at(float(i + 1), lambda: None)
+                  for i in range(20)]
+        for _ in range(5):
+            events[0].cancel()
+        assert len(queue) == 19
+
+    def test_churny_timeline_stays_bounded(self, queue):
+        """Schedule/cancel cycles (flapping timelines) keep the heap small."""
+        for round_ in range(50):
+            evs = [queue.schedule_at(round_ * 10.0 + i + 1, lambda: None)
+                   for i in range(20)]
+            for ev in evs:
+                ev.cancel()
+        assert len(queue) == 0
+        assert len(queue._heap) < 20
+
+
+class TestScheduleEvery:
+    def test_recurring_fires_each_interval(self, queue):
+        fired = []
+        queue.schedule_every(10.0, lambda: fired.append(queue.clock.now))
+        queue.run_until(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_first_at_override(self, queue):
+        fired = []
+        queue.schedule_every(10.0, lambda: fired.append(queue.clock.now),
+                             first_at=3.0)
+        queue.run_until(25.0)
+        assert fired == [3.0, 13.0, 23.0]
+
+    def test_cancel_stops_series(self, queue):
+        fired = []
+        handle = queue.schedule_every(5.0, lambda: fired.append(1))
+        queue.run_until(12.0)
+        handle.cancel()
+        queue.run_until(50.0)
+        assert handle.fired == 2
+        assert fired == [1, 1]
+
+    def test_cancel_from_inside_action(self, queue):
+        handle = queue.schedule_every(5.0, lambda: handle.cancel())
+        queue.run_until(50.0)
+        assert handle.fired == 1
+
+    def test_invalid_interval_rejected(self, queue):
+        with pytest.raises(ValueError, match="interval"):
+            queue.schedule_every(0.0, lambda: None)
