@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Loaded-path benchmark: per-request ``execute`` vs batched ``execute_many``.
+
+``ServiceRuntime.execute`` dominates loaded-run wall clock (see
+``BENCH_kernel.json``'s ``loaded`` window), so this tracks the aggregate
+tier's speedup on the hot path itself: simulate n requests of the
+HotelReservation ``search_hotel`` operation per measurement, healthy and
+with partial network loss (stochastic branching — the profile's worst
+case), at n ∈ {1e3, 1e4, 1e5}.
+
+Results are appended to ``BENCH_kernel.json`` under ``execute_many`` and
+as a ``trajectory`` entry so per-PR history accumulates.  Exits non-zero
+if ``execute_many`` is not ≥10× faster than the per-request loop at
+n=10k — the acceptance floor for the aggregate tier.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_execute.py [--out BENCH_kernel.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.apps import HotelReservation
+from repro.kubesim import Cluster
+from repro.simcore import SimClock
+from repro.telemetry import TelemetryCollector
+
+OP = "search_hotel"
+SPEEDUP_FLOOR = 10.0
+FLOOR_AT_N = 10_000
+
+
+def _runtime(seed: int = 0, loss: float = 0.0):
+    clock = SimClock()
+    cluster = Cluster(clock=clock, seed=seed)
+    collector = TelemetryCollector(clock, seed=seed)
+    app = HotelReservation()
+    rt = app.deploy(cluster, collector, seed=seed)
+    if loss > 0:
+        rt.network_loss["search"] = loss
+    return rt
+
+
+def bench_n(n: int, loss: float, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall time for both paths at batch size ``n``.
+
+    Fresh runtimes per measurement so telemetry-store growth from one
+    path can't slow the other; the batch measurement includes profile
+    compilation (the realistic first-call cost)."""
+    loop_s = batch_s = float("inf")
+    loop_errors = batch_errors = 0
+    for _ in range(repeats):
+        rt = _runtime(loss=loss)
+        t0 = time.perf_counter()
+        loop_errors = sum(not rt.execute(OP).ok for _ in range(n))
+        loop_s = min(loop_s, time.perf_counter() - t0)
+
+        rt = _runtime(loss=loss)
+        t0 = time.perf_counter()
+        batch = rt.execute_many(OP, n)
+        batch_s = min(batch_s, time.perf_counter() - t0)
+        batch_errors = batch.errors
+    result = {
+        "n": n,
+        "network_loss": loss,
+        "execute_loop_s": round(loop_s, 4),
+        "execute_many_s": round(batch_s, 6),
+        "speedup": round(loop_s / batch_s, 1),
+        "loop_error_rate": round(loop_errors / n, 4),
+        "batch_error_rate": round(batch_errors / n, 4),
+    }
+    print(f"n={n:>7,}  loss={loss:.1f}  loop {loop_s:8.3f}s  "
+          f"batch {batch_s:.6f}s  x{loop_s / batch_s:,.0f}")
+    return result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_kernel.json",
+                        help="benchmark file to append to")
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the n=1e5 point (CI smoke mode)")
+    args = parser.parse_args()
+
+    sizes = [1_000, 10_000] if args.quick else [1_000, 10_000, 100_000]
+    results = {
+        "healthy": [bench_n(n, loss=0.0) for n in sizes],
+        "network_loss": [bench_n(n, loss=0.2) for n in sizes],
+    }
+
+    out = Path(args.out)
+    try:
+        payload = json.loads(out.read_text()) if out.exists() else {}
+    except json.JSONDecodeError:
+        payload = {}
+    payload["execute_many"] = {
+        "benchmark": "ServiceRuntime.execute loop vs execute_many "
+                     "(wall seconds per n simulated requests)",
+        "operation": OP,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    floor_points = [r for r in results["healthy"] + results["network_loss"]
+                    if r["n"] == FLOOR_AT_N]
+    entry = {
+        "entry": "execute_many",
+        "description": "batched request execution via compiled path profiles",
+        "speedup_at_10k": min(r["speedup"] for r in floor_points),
+        "best_speedup": max(r["speedup"]
+                            for rs in results.values() for r in rs),
+    }
+    payload.setdefault("trajectory", []).append(entry)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if entry["speedup_at_10k"] < SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"execute_many speedup at n={FLOOR_AT_N} fell below "
+            f"{SPEEDUP_FLOOR}x: {entry['speedup_at_10k']}x")
+
+
+if __name__ == "__main__":
+    main()

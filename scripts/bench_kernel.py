@@ -93,14 +93,20 @@ def main() -> None:
                                     400_000.0 * scale),
         "loaded": bench_window("loaded", 60.0, 5.0, 2_000.0 * scale),
     }
-    payload = {
+    out = Path(args.out)
+    # Preserve sections other benchmarks own (execute_many, trajectory).
+    try:
+        payload = json.loads(out.read_text()) if out.exists() else {}
+    except json.JSONDecodeError:
+        payload = {}
+    payload.update({
         "benchmark": "event kernel advance() throughput (virtual s / wall s)",
         "before": "seed tick loop (WorkloadDriver.run_for)",
         "after": "event kernel (CloudEnvironment.advance)",
         "python": platform.python_version(),
         "windows": windows,
-    }
-    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    })
+    out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
     idle_speedups = [windows["idle"]["speedup"],
                      windows["idle_sparse"]["speedup"]]

@@ -18,7 +18,7 @@
   spec-ordered results.
 """
 
-from repro.core.env import CloudEnvironment
+from repro.core.env import CloudEnvironment, EnvSpec, FIDELITY_TIERS
 from repro.core.actions import ActionRegistry, ActionSpec, Observation, action
 from repro.core.aci import TaskActions, extract_api_docs, registry_for
 from repro.core.problem import (
@@ -54,6 +54,8 @@ __all__ = [
     "save_all",
     "save_session",
     "CloudEnvironment",
+    "EnvSpec",
+    "FIDELITY_TIERS",
     "ActionRegistry",
     "ActionSpec",
     "Observation",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import shutil
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Type
 
@@ -20,6 +21,37 @@ from repro.kubesim import Cluster, Helm, Kubectl
 from repro.simcore import EventQueue, SimClock
 from repro.telemetry import TelemetryCollector, TelemetryExporter
 from repro.workload import ConstantRate, RatePolicy, WorkloadDriver
+
+#: request-execution fidelity tiers (see DESIGN.md): ``per_request``
+#: walks the call graph once per request (bit-identical to the seed,
+#: the benchmark default); ``aggregate`` samples batched outcomes from
+#: compiled path profiles (statistically equivalent, built for
+#: "millions of users" rates).  The driver's mode tuple is the single
+#: source of truth; this is its environment-level name.
+FIDELITY_TIERS = WorkloadDriver.MODES
+
+
+@dataclass(frozen=True)
+class EnvSpec:
+    """Declarative environment configuration — the knobs a problem (or a
+    scaling experiment) turns without touching environment wiring.
+
+    ``fidelity`` selects the execution tier; everything else mirrors the
+    corresponding :class:`CloudEnvironment` constructor parameter.
+    """
+
+    seed: int = 0
+    workload_rate: float = 60.0
+    policy: Optional[RatePolicy] = None
+    fidelity: str = "per_request"
+    resync_interval: float = 30.0
+    export_root: Optional[str | Path] = None
+
+    def __post_init__(self) -> None:
+        if self.fidelity not in FIDELITY_TIERS:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITY_TIERS}, "
+                f"got {self.fidelity!r}")
 
 
 class CloudEnvironment:
@@ -47,8 +79,13 @@ class CloudEnvironment:
         policy: Optional[RatePolicy] = None,
         export_root: Optional[str | Path] = None,
         resync_interval: float = 30.0,
+        fidelity: str = "per_request",
     ) -> None:
+        if fidelity not in FIDELITY_TIERS:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITY_TIERS}, got {fidelity!r}")
         self.seed = seed
+        self.fidelity = fidelity
         self.clock = SimClock()
         self.queue = EventQueue(self.clock)
         self.cluster = Cluster(clock=self.clock, seed=seed)
@@ -64,6 +101,7 @@ class CloudEnvironment:
             policy or ConstantRate(workload_rate),
             seed=seed,
             queue=self.queue,
+            mode=fidelity,
         )
         self.kubectl = Kubectl(
             self.cluster,
@@ -81,6 +119,19 @@ class CloudEnvironment:
             passive=True,  # a converged-cluster resync can't affect workload
         ) if resync_interval > 0 else None
         self.closed = False
+
+    @classmethod
+    def from_spec(cls, app_cls: Type[App], spec: EnvSpec) -> "CloudEnvironment":
+        """Build an environment from a declarative :class:`EnvSpec`."""
+        return cls(
+            app_cls,
+            seed=spec.seed,
+            workload_rate=spec.workload_rate,
+            policy=spec.policy,
+            export_root=spec.export_root,
+            resync_interval=spec.resync_interval,
+            fidelity=spec.fidelity,
+        )
 
     @property
     def namespace(self) -> str:

@@ -11,7 +11,7 @@ from typing import Any, Optional, Type
 
 from repro.apps.base import App
 from repro.apps import HotelReservation, SocialNetwork
-from repro.core.env import CloudEnvironment
+from repro.core.env import CloudEnvironment, EnvSpec
 from repro.core.evaluator import system_healthy
 from repro.faults import (
     INJECTOR_CLASSES as _INJECTOR_CLASSES,
@@ -46,6 +46,11 @@ class Problem:
     #: seconds of faulty traffic before the agent is engaged
     fault_soak_seconds: float = 30.0
     workload_rate: float = 60.0
+    #: request-execution fidelity tier (see repro.core.env.FIDELITY_TIERS):
+    #: every benchmark problem stays "per_request" (bit-identical results);
+    #: detection/localization-style problems whose grading reads only
+    #: aggregate telemetry may opt into "aggregate" for high-rate runs.
+    fidelity: str = "per_request"
 
     def __init__(
         self,
@@ -81,9 +86,13 @@ class Problem:
     # ------------------------------------------------------------------
     # lifecycle (called by the Orchestrator)
     # ------------------------------------------------------------------
+    def env_spec(self, seed: int = 0) -> EnvSpec:
+        """The declarative environment configuration for this problem."""
+        return EnvSpec(seed=seed, workload_rate=self.workload_rate,
+                       fidelity=self.fidelity)
+
     def create_environment(self, seed: int = 0) -> CloudEnvironment:
-        return CloudEnvironment(self.app_cls, seed=seed,
-                                workload_rate=self.workload_rate)
+        return CloudEnvironment.from_spec(self.app_cls, self.env_spec(seed))
 
     def start_workload(self, env: CloudEnvironment) -> None:
         """Warm the system up with healthy traffic."""

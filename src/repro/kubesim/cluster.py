@@ -105,6 +105,13 @@ class Cluster:
         self._scheduler = Scheduler(self)
         self._deploy_ctrl = DeploymentController(self)
         self._endpoints_ctrl = EndpointsController(self)
+        #: monotonic mutation counter: bumped by every mutating CRUD
+        #: method *and* by every ``reconcile()`` run, so derived caches
+        #: (path profiles, log pod attribution) can fingerprint cluster
+        #: state cheaply — including in-place object edits, which always
+        #: go through a reconcile.  A converged-cluster ``resync`` skips
+        #: reconcile and therefore does not bump it.
+        self.state_version = 0
         #: set by mutating CRUD methods, cleared by reconcile(); lets the
         #: periodic resync event skip converged clusters in O(1)
         self._dirty = True
@@ -118,6 +125,11 @@ class Cluster:
     # ------------------------------------------------------------------
     # bookkeeping helpers
     # ------------------------------------------------------------------
+    def _mark_dirty(self) -> None:
+        """Flag unreconciled state and bump the mutation counter."""
+        self._dirty = True
+        self.state_version += 1
+
     def _next_uid(self) -> str:
         return f"uid-{next(self._uid_counter):06d}"
 
@@ -153,14 +165,14 @@ class Cluster:
     # namespaces & nodes
     # ------------------------------------------------------------------
     def create_namespace(self, name: str) -> None:
-        self._dirty = True
+        self._mark_dirty()
         self.namespaces.add(name)
 
     def delete_namespace(self, name: str) -> None:
         """Delete a namespace and everything inside it."""
         if name not in self.namespaces:
             raise ResourceNotFound("Namespace", name)
-        self._dirty = True
+        self._mark_dirty()
         self.namespaces.discard(name)
         for store in (
             self.pods,
@@ -178,7 +190,7 @@ class Cluster:
             raise ResourceNotFound("Namespace", name)
 
     def add_node(self, name: str, labels: Optional[dict[str, str]] = None) -> Node:
-        self._dirty = True
+        self._mark_dirty()
         node = Node(meta=ObjectMeta(name=name, namespace=""), labels=labels or {})
         self.nodes[name] = node
         return node
@@ -186,7 +198,7 @@ class Cluster:
     def remove_node(self, name: str) -> None:
         if name not in self.nodes:
             raise ResourceNotFound("Node", name)
-        self._dirty = True
+        self._mark_dirty()
         del self.nodes[name]
         self.reconcile()
 
@@ -198,7 +210,7 @@ class Cluster:
         key = (dep.namespace, dep.name)
         if key in self.deployments:
             raise InvalidAction(f'deployment "{dep.name}" already exists')
-        self._dirty = True
+        self._mark_dirty()
         dep.meta.uid = self._next_uid()
         dep.meta.creation_time = self.clock.now
         self.deployments[key] = dep
@@ -217,7 +229,7 @@ class Cluster:
 
     def delete_deployment(self, namespace: str, name: str) -> None:
         self.get_deployment(namespace, name)
-        self._dirty = True
+        self._mark_dirty()
         del self.deployments[(namespace, name)]
         self.reconcile()
 
@@ -225,7 +237,7 @@ class Cluster:
         if replicas < 0:
             raise InvalidAction(f"replicas must be >= 0, got {replicas}")
         dep = self.get_deployment(namespace, name)
-        self._dirty = True
+        self._mark_dirty()
         old = dep.replicas
         dep.replicas = replicas
         dep.generation += 1
@@ -242,7 +254,7 @@ class Cluster:
         key = (svc.namespace, svc.name)
         if key in self.services:
             raise InvalidAction(f'service "{svc.name}" already exists')
-        self._dirty = True
+        self._mark_dirty()
         svc.meta.uid = self._next_uid()
         svc.meta.creation_time = self.clock.now
         if not svc.cluster_ip:
@@ -259,7 +271,7 @@ class Cluster:
 
     def delete_service(self, namespace: str, name: str) -> None:
         self.get_service(namespace, name)
-        self._dirty = True
+        self._mark_dirty()
         del self.services[(namespace, name)]
         self.endpoints.pop((namespace, name), None)
 
@@ -274,7 +286,7 @@ class Cluster:
         key = (pod.namespace, pod.name)
         if key in self.pods:
             raise InvalidAction(f'pod "{pod.name}" already exists')
-        self._dirty = True
+        self._mark_dirty()
         pod.meta.uid = self._next_uid()
         pod.meta.creation_time = self.clock.now
         pod.start_time = self.clock.now
@@ -291,13 +303,13 @@ class Cluster:
     def delete_pod(self, namespace: str, name: str) -> None:
         pod = self.get_pod(namespace, name)
         self.record_event(namespace, "Pod", name, "Killing", f"Stopping container {name}")
-        self._dirty = True
+        self._mark_dirty()
         del self.pods[(namespace, pod.name)]
         self.reconcile()
 
     def create_configmap(self, cm: ConfigMap) -> ConfigMap:
         self.require_namespace(cm.namespace)
-        self._dirty = True
+        self._mark_dirty()
         cm.meta.uid = self._next_uid()
         cm.meta.creation_time = self.clock.now
         self.configmaps[(cm.namespace, cm.name)] = cm
@@ -311,7 +323,7 @@ class Cluster:
 
     def create_secret(self, s: Secret) -> Secret:
         self.require_namespace(s.namespace)
-        self._dirty = True
+        self._mark_dirty()
         s.meta.uid = self._next_uid()
         s.meta.creation_time = self.clock.now
         self.secrets[(s.namespace, s.name)] = s
@@ -386,7 +398,13 @@ class Cluster:
 
         Three rounds suffice for every chain in this model (deployment →
         pod → schedule → endpoints); extra rounds are no-ops.
+
+        Bumps ``state_version`` unconditionally: in-place object edits
+        (service ports, pod crash-loop flags, deployment templates) don't
+        go through CRUD, but every such mutation site reconciles — so the
+        counter still observes them.
         """
+        self.state_version += 1
         for _ in range(rounds):
             changed = False
             changed |= self._deploy_ctrl.reconcile()

@@ -21,7 +21,8 @@ from repro.services.errors import (
 )
 from repro.services.backends import MongoBackend, RedisBackend, MemcachedBackend
 from repro.services.model import Microservice, CallEdge, Operation
-from repro.services.runtime import ServiceRuntime, RequestResult
+from repro.services.profile import Outcome, PathProfile, compile_profile
+from repro.services.runtime import BatchResult, ServiceRuntime, RequestResult
 
 __all__ = [
     "RpcError",
@@ -34,4 +35,8 @@ __all__ = [
     "Operation",
     "ServiceRuntime",
     "RequestResult",
+    "BatchResult",
+    "Outcome",
+    "PathProfile",
+    "compile_profile",
 ]

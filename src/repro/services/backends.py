@@ -40,21 +40,36 @@ class MongoBackend:
         self.db_name = db_name
         self.require_auth = require_auth
         self.users: dict[str, MongoUser] = {}
-        self.up = True
+        #: control-plane mutation counter (user/role changes, liveness
+        #: toggles); derived caches (path profiles) fingerprint on it
+        self.version = 0
+        self._up = True
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        self._up = bool(value)
+        self.version += 1
 
     # -- administration -------------------------------------------------
     def create_user(self, username: str, password: str,
                     roles: Optional[set[str]] = None) -> MongoUser:
         user = MongoUser(username, password, set(roles or {"readWrite"}))
         self.users[username] = user
+        self.version += 1
         return user
 
     def drop_user(self, username: str) -> bool:
         """Remove a user; returns True if it existed."""
+        self.version += 1
         return self.users.pop(username, None) is not None
 
     def revoke_roles(self, username: str, roles: Optional[set[str]] = None) -> bool:
         """Revoke roles (all write roles by default); True if user existed."""
+        self.version += 1
         user = self.users.get(username)
         if user is None:
             return False
@@ -62,6 +77,7 @@ class MongoBackend:
         return True
 
     def grant_roles(self, username: str, roles: set[str]) -> bool:
+        self.version += 1
         user = self.users.get(username)
         if user is None:
             return False
@@ -102,8 +118,19 @@ class RedisBackend:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.up = True
+        #: liveness-toggle counter (the only control-plane state here)
+        self.version = 0
+        self._up = True
         self._store: dict[str, str] = {}
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        self._up = bool(value)
+        self.version += 1
 
     def set(self, key: str, value: str) -> None:
         self._store[key] = value
@@ -120,8 +147,19 @@ class MemcachedBackend:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.up = True
+        #: liveness-toggle counter (the only control-plane state here)
+        self.version = 0
+        self._up = True
         self._store: dict[str, str] = {}
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        self._up = bool(value)
+        self.version += 1
 
     def set(self, key: str, value: str) -> None:
         self._store[key] = value

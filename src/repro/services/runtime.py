@@ -1,7 +1,21 @@
-"""Request execution over the call graph — where faults become observable."""
+"""Request execution over the call graph — where faults become observable.
+
+Two execution tiers share the same fault semantics:
+
+* :meth:`ServiceRuntime.execute` — the per-request reference path: one
+  recursive walk per request, full-fidelity telemetry.  Bit-identical to
+  the seed.
+* :meth:`ServiceRuntime.execute_many` — the aggregate path: compiles the
+  current call graph + fault state into a cached
+  :class:`~repro.services.profile.PathProfile` and samples ``n`` requests'
+  outcomes in O(outcome branches) — binomial/multinomial error splits,
+  normal-approximated lognormal latency sums, and bounded exemplar
+  traces/logs.  Statistically equivalent, orders of magnitude faster.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -11,6 +25,7 @@ from repro.services import errors as err
 from repro.services.backends import MemcachedBackend, MongoBackend, RedisBackend
 from repro.services.errors import RpcError, RpcErrorKind
 from repro.services.model import CallEdge, Microservice, Operation
+from repro.services.profile import Outcome, PathProfile, compile_profile
 from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.traces import Span, Trace
 
@@ -30,6 +45,36 @@ class RequestResult:
     trace_id: str = ""
     #: services that logged an error while handling this request
     error_services: list[str] = field(default_factory=list)
+
+
+@dataclass
+class BatchResult:
+    """Aggregate outcome of ``execute_many(op, n)`` — the batch analogue of
+    :class:`RequestResult`, with counts where the per-request path has
+    booleans."""
+
+    operation: str
+    n: int
+    errors: int = 0
+    latency_sum_ms: float = 0.0
+    #: service → number of requests that attributed an error to it
+    error_services: dict[str, int] = field(default_factory=dict)
+    #: RpcErrorKind.value → failed-request count
+    error_kinds: dict[str, int] = field(default_factory=dict)
+    #: bounded per-outcome exemplar requests (full traces were recorded)
+    exemplars: list[RequestResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.errors == 0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.n if self.n else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.latency_sum_ms / self.n if self.n else 0.0
 
 
 class ServiceRuntime:
@@ -78,6 +123,21 @@ class ServiceRuntime:
         self.rng = RngStream(seed, f"runtime/{namespace}")
         #: chaos state: callee service -> packet drop probability
         self.network_loss: dict[str, float] = {}
+        #: dedicated stream for the aggregate path, derived from the seed
+        #: (not from the per-request generator's state), so batch results
+        #: are deterministic in (seed, n) regardless of interleaved
+        #: ``execute`` calls — and per-request draws stay bit-identical.
+        self._batch_rng: Optional[RngStream] = None
+        #: op name -> compiled PathProfile (validity checked by its key)
+        self._profiles: dict[str, PathProfile] = {}
+        #: op name -> static fingerprint inputs (services, backend edges)
+        self._op_static: dict[str, tuple] = {}
+        #: observability for tests/benchmarks of the profile cache
+        self.profile_stats = {"compiles": 0, "hits": 0}
+        self._latency_moments_cache: dict[tuple, tuple[float, float]] = {}
+        #: (pods.version, state_version)-keyed service -> pod-name memo
+        self._pod_cache_key: tuple[int, int] = (-1, -1)
+        self._pod_cache: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -94,11 +154,26 @@ class ServiceRuntime:
         return dep.template.containers[0].image if dep.template.containers else svc.image
 
     def _pod_for(self, service: str) -> str:
-        pods = [
-            p for p in self.cluster.pods_in(self.namespace)
-            if p.owner == service and p.ready and not p.crash_looping
-        ]
-        return pods[0].name if pods else f"{service}-<none>"
+        """The pod log lines for ``service`` are attributed to.
+
+        Memoized per (pods.version, state_version) so emitting a log line
+        is O(1) instead of an O(pods) scan: the dict version catches pod
+        create/delete, the cluster's state version catches in-place pod
+        mutations (crash-loop flags flip inside ``reconcile``).
+        """
+        key = (self.cluster.pods.version, self.cluster.state_version)
+        if key != self._pod_cache_key:
+            self._pod_cache_key = key
+            self._pod_cache = {}
+        name = self._pod_cache.get(service)
+        if name is None:
+            pods = [
+                p for p in self.cluster.pods_in(self.namespace)
+                if p.owner == service and p.ready and not p.crash_looping
+            ]
+            name = pods[0].name if pods else f"{service}-<none>"
+            self._pod_cache[service] = name
+        return name
 
     def _log(self, service: str, level: str, message: str) -> None:
         self.collector.emit_log(
@@ -106,9 +181,30 @@ class ServiceRuntime:
         )
 
     def _latency(self, svc: Microservice) -> float:
-        import math
         mean_log = math.log(max(svc.base_latency_ms, 0.1))
         return self.rng.lognormal(mean_log, svc.latency_sigma)
+
+    def _latency_from(self, rng: RngStream, svc: Microservice) -> float:
+        """One service-time draw from an explicit stream (the batch path)."""
+        mean_log = math.log(max(svc.base_latency_ms, 0.1))
+        return rng.lognormal(mean_log, svc.latency_sigma)
+
+    def _latency_moments(self, svc: Microservice) -> tuple[float, float]:
+        """(mean, variance) of the service's lognormal hop time.
+
+        Keyed on the parameters themselves, so an in-place change to a
+        service's latency profile (a future slow-service fault) can never
+        serve stale moments."""
+        key = (svc.name, svc.base_latency_ms, svc.latency_sigma)
+        cached = self._latency_moments_cache.get(key)
+        if cached is None:
+            mu = math.log(max(svc.base_latency_ms, 0.1))
+            sigma2 = svc.latency_sigma ** 2
+            mean = math.exp(mu + sigma2 / 2.0)
+            var = (math.exp(sigma2) - 1.0) * math.exp(2.0 * mu + sigma2)
+            cached = (mean, var)
+            self._latency_moments_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # hop checks
@@ -289,3 +385,237 @@ class ServiceRuntime:
             span.error_message = failure.message
         self.collector.record_request(svc.name, total, error=failure is not None)
         return total, failure
+
+    # ------------------------------------------------------------------
+    # aggregate execution (the batched tier)
+    # ------------------------------------------------------------------
+
+    #: exemplar traces recorded per outcome branch per execute_many call
+    BATCH_TRACE_EXEMPLARS = 2
+    #: copies of each outcome's deterministic log lines emitted per call
+    BATCH_LOG_EXEMPLARS = 2
+    #: cap on emitted WARN/INFO noise exemplar lines per call
+    BATCH_NOISE_EXEMPLARS = 3
+
+    def _batch_stream(self) -> RngStream:
+        if self._batch_rng is None:
+            self._batch_rng = self.rng.child("batch")
+        return self._batch_rng
+
+    def _op_fingerprint_inputs(self, op: Operation) -> tuple:
+        """Static, state-independent inputs of ``op``'s fingerprint:
+        (involved services, (caller, callee) edges over backend services).
+        Call trees never mutate, so this is computed once per op."""
+        cached = self._op_static.get(op.name)
+        if cached is not None:
+            return cached
+        involved: list[str] = []
+        backend_edges: list[tuple[str, str]] = []
+
+        def walk(caller: str, edges: list[CallEdge]) -> None:
+            for e in edges:
+                callee = self.services.get(e.callee)
+                if callee is None:
+                    continue
+                if callee.name not in involved:
+                    involved.append(callee.name)
+                if callee.backend is not None:
+                    backend_edges.append((caller, callee.name))
+                walk(callee.name, e.children)
+
+        involved.append(op.entry)
+        walk(op.entry, op.tree)
+        cached = (tuple(involved), tuple(backend_edges))
+        self._op_static[op.name] = cached
+        return cached
+
+    def _profile_key(self, op: Operation) -> tuple:
+        """Fingerprint of everything the path-profile compiler reads.
+
+        Cheap counters (cluster state/membership versions, backend
+        versions) catch every mutation that flows through cluster CRUD,
+        ``reconcile`` or a backend method; the value snapshots (resolved
+        credentials, images, ``network_loss``) additionally catch in-place
+        edits that bypass them (helm values surgery, direct template
+        pokes) — the ``_dirty``-style staleness bug class.
+        """
+        involved, backend_edges = self._op_fingerprint_inputs(op)
+        creds = tuple(
+            self.credentials_provider(caller, callee)
+            if isinstance(self.services[callee].backend, MongoBackend) else None
+            for caller, callee in backend_edges
+        )
+        backend_versions = tuple(
+            getattr(self.services[callee].backend, "version", 0)
+            for _, callee in backend_edges
+        )
+        images = tuple(self._image_of(self.services[s]) for s in involved)
+        latencies = tuple(
+            (self.services[s].base_latency_ms, self.services[s].latency_sigma)
+            for s in involved
+        )
+        return (
+            self.cluster.state_version,
+            self.cluster.pods.version,
+            self.cluster.services.version,
+            tuple(sorted(self.network_loss.items())),
+            backend_versions,
+            creds,
+            images,
+            latencies,
+        )
+
+    def _profile_for(self, op: Operation) -> PathProfile:
+        key = self._profile_key(op)
+        profile = self._profiles.get(op.name)
+        if profile is not None and profile.key == key:
+            self.profile_stats["hits"] += 1
+            return profile
+        profile = compile_profile(self, op, key)
+        self._profiles[op.name] = profile
+        self.profile_stats["compiles"] += 1
+        return profile
+
+    def _sample_exemplar(
+        self, op: Operation, outcome: Outcome, rng: RngStream,
+    ) -> tuple[RequestResult, dict[str, list[float]]]:
+        """Materialize one full-fidelity trace for an outcome branch: real
+        lognormal draws per entered span, recorded to the trace store.
+        Returns the equivalent RequestResult plus per-service subtree
+        latencies (honest samples for the collector's percentile window).
+        """
+        spans = outcome.spans
+        durations = [0.0] * len(spans)
+        for i, sn in enumerate(spans):
+            if sn.entered:
+                durations[i] = self._latency_from(rng, self.services[sn.service])
+            else:
+                durations[i] = sn.const_ms
+        # Subtree sums: children are appended after their parent, so one
+        # reverse pass accumulates bottom-up.  Failure stubs keep their
+        # fixed cost and (like the per-request path) don't add to the
+        # caller's total.
+        for i in range(len(spans) - 1, 0, -1):
+            if spans[i].entered and spans[i].parent >= 0:
+                durations[spans[i].parent] += durations[i]
+        trace = Trace(trace_id=self.collector.traces.new_trace_id())
+        now = self.clock.now
+        span_ids: list[str] = []
+        for i, sn in enumerate(spans):
+            span_ids.append(self.collector.traces.new_span_id())
+            trace.spans.append(Span(
+                span_id=span_ids[i], trace_id=trace.trace_id,
+                parent_id=span_ids[sn.parent] if sn.parent >= 0 else None,
+                service=sn.service, operation=sn.operation,
+                start=now, duration_ms=durations[i],
+                status=sn.status, error_message=sn.error_message,
+            ))
+        self.collector.record_trace(trace)
+        per_service: dict[str, list[float]] = {}
+        for i, sn in enumerate(spans):
+            if sn.entered:
+                per_service.setdefault(sn.service, []).append(durations[i])
+        result = RequestResult(
+            op.name, outcome.ok, durations[0], outcome.error,
+            trace.trace_id, list(outcome.error_services),
+        )
+        return result, per_service
+
+    def execute_many(self, op_name: str, n: int) -> BatchResult:
+        """Simulate ``n`` requests for ``op_name`` in aggregate.
+
+        Statistically equivalent to ``n`` calls of :meth:`execute` under a
+        frozen cluster state — same outcome probabilities, same error
+        attribution, same latency distribution — but O(outcome branches)
+        instead of O(n · call-tree): a multinomial split over the compiled
+        :class:`PathProfile`, normal-approximated lognormal latency sums,
+        and bounded exemplar traces/logs feeding the usual telemetry
+        surfaces.  Deterministic given (seed, n) — the batch stream is
+        derived from the runtime seed, independent of per-request draws.
+        """
+        op = self.operations.get(op_name)
+        if op is None:
+            raise KeyError(f"unknown operation {op_name!r}")
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        batch = BatchResult(op.name, n)
+        if n == 0:
+            return batch
+        profile = self._profile_for(op)
+        rng = self._batch_stream()
+        counts = rng.multinomial(n, profile.probs)
+        #: service -> [requests, errors, latency exemplars]
+        bulk: dict[str, list] = {}
+
+        def bulk_entry(service: str) -> list:
+            entry = bulk.get(service)
+            if entry is None:
+                entry = [0, 0, []]
+                bulk[service] = entry
+            return entry
+
+        noise_pool = 0
+        noise_sites: tuple[tuple[str, str, float], ...] = ()
+        for outcome, k in zip(profile.outcomes, counts):
+            k = int(k)
+            if k == 0:
+                continue
+            if not outcome.ok:
+                batch.errors += k
+                for s in outcome.error_services:
+                    batch.error_services[s] = batch.error_services.get(s, 0) + k
+                kind = outcome.error.kind.value
+                batch.error_kinds[kind] = batch.error_kinds.get(kind, 0) + k
+            # end-to-end latency: sum of k iid lognormal-sum samples →
+            # normal approximation (exact mean/variance, CLT shape)
+            if outcome.var_ms > 0.0:
+                total = rng.normal(k * outcome.mean_ms,
+                                   math.sqrt(k * outcome.var_ms))
+                total = max(total, 0.0)
+            else:
+                total = k * outcome.mean_ms
+            batch.latency_sum_ms += total
+            noise_pool += k * outcome.noise_eligible
+            if outcome.noise_sites and not noise_sites:
+                noise_sites = outcome.noise_sites
+            # per-service request accounting (counts are exact)
+            for s, c in outcome.visit_counts.items():
+                bulk_entry(s)[0] += k * c
+            for s, c in outcome.error_visit_counts.items():
+                bulk_entry(s)[1] += k * c
+            for s, c in outcome.hop_fail_counts.items():
+                e = bulk_entry(s)
+                e[0] += k * c
+                e[1] += k * c
+                e[2].extend([0.5] * min(k * c, 2))
+            if outcome.client_fail:
+                e = bulk_entry(profile.entry)
+                e[0] += k
+                e[1] += k
+                e[2].extend([1.0] * min(k, 2))
+            # bounded full-fidelity exemplars
+            for _ in range(min(k, self.BATCH_TRACE_EXEMPLARS)):
+                result, per_service = self._sample_exemplar(op, outcome, rng)
+                batch.exemplars.append(result)
+                for s, lats in per_service.items():
+                    bulk_entry(s)[2].extend(lats)
+            for _ in range(min(k, self.BATCH_LOG_EXEMPLARS)):
+                for svc_name, level, message in outcome.logs:
+                    self._log(svc_name, level, message)
+        # background noise logs: exact count distribution, capped emission,
+        # worded exactly as the per-request path words them at each site
+        if noise_pool and noise_sites:
+            warns = rng.binomial(noise_pool, self.NOISE_WARN)
+            infos = rng.binomial(noise_pool, self.INFO_SAMPLE)
+            for i in range(min(warns, self.BATCH_NOISE_EXEMPLARS)):
+                svc_name, command, _ = noise_sites[i % len(noise_sites)]
+                self._log(svc_name, "WARN",
+                          f"slow {command} request: "
+                          f"retrying idempotent call once")
+            for i in range(min(infos, self.BATCH_NOISE_EXEMPLARS)):
+                svc_name, command, site_mean = noise_sites[i % len(noise_sites)]
+                self._log(svc_name, "INFO",
+                          f"{op.name}/{command} handled in {site_mean:.1f}ms")
+        for s, (count, errors, lats) in bulk.items():
+            self.collector.record_request_bulk(s, count, errors, lats)
+        return batch

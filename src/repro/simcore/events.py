@@ -46,7 +46,7 @@ class ScheduledEvent:
         if not self.cancelled and not self.fired:
             self.cancelled = True
             if self.queue is not None:
-                self.queue._note_cancelled()
+                self.queue._note_cancelled(self)
 
 
 class RecurringEvent:
@@ -94,12 +94,19 @@ class EventQueue:
         self._heap: list[ScheduledEvent] = []
         self._seq = itertools.count()
         self._cancelled = 0
+        #: live (not cancelled, not fired) non-passive events — lets
+        #: ``next_active_time`` answer None in O(1), the common case for
+        #: idle fast-forwarding and aggregate-span planning where only a
+        #: passive resync remains scheduled
+        self._live_nonpassive = 0
 
     def __len__(self) -> int:
         return len(self._heap) - self._cancelled
 
     # -- cancellation bookkeeping --------------------------------------
-    def _note_cancelled(self) -> None:
+    def _note_cancelled(self, ev: ScheduledEvent) -> None:
+        if not ev.passive:
+            self._live_nonpassive -= 1
         self._cancelled += 1
         if self._cancelled * 2 > len(self._heap) \
                 and len(self._heap) >= self._COMPACT_MIN:
@@ -129,6 +136,8 @@ class EventQueue:
         ev = ScheduledEvent(time=time, seq=next(self._seq), action=action,
                             label=label, passive=passive, queue=self)
         heapq.heappush(self._heap, ev)
+        if not passive:
+            self._live_nonpassive += 1
         return ev
 
     def schedule_in(
@@ -180,9 +189,12 @@ class EventQueue:
         The idle fast-forward uses this as its planning horizon: passive
         events (converged-cluster resyncs) cannot change what the workload
         would do, so skipping *past* their fire time is safe — they still
-        fire at it.  Linear scan; the queue holds a handful of live
-        entries (tick chain + timelines), not thousands.
+        fire at it.  O(1) when no live non-passive event exists (the
+        common planning case); otherwise a linear scan — the queue holds
+        a handful of live entries (tick chain + timelines), not thousands.
         """
+        if self._live_nonpassive <= 0:
+            return None
         times = [e.time for e in self._heap
                  if not e.cancelled and not e.passive]
         return min(times) if times else None
@@ -200,6 +212,8 @@ class EventQueue:
                 continue
             ev = heapq.heappop(self._heap)
             ev.fired = True
+            if not ev.passive:
+                self._live_nonpassive -= 1
             if ev.time > self.clock.now:
                 self.clock.advance_to(ev.time)
             ev.action()

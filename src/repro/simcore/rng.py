@@ -70,6 +70,20 @@ class RngStream:
             raise ValueError(f"bernoulli p must be in [0,1], got {p}")
         return bool(self._gen.random() < p)
 
+    def binomial(self, n: int, p: float) -> int:
+        """Number of successes in ``n`` Bernoulli(p) trials."""
+        if n < 0:
+            raise ValueError(f"binomial n must be >= 0, got {n}")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"binomial p must be in [0,1], got {p}")
+        return int(self._gen.binomial(n, p))
+
+    def multinomial(self, n: int, pvals) -> list[int]:
+        """Split ``n`` trials across categories with probabilities ``pvals``."""
+        if n < 0:
+            raise ValueError(f"multinomial n must be >= 0, got {n}")
+        return [int(c) for c in self._gen.multinomial(n, pvals)]
+
     def shuffle(self, seq: list) -> list:
         """Return a new shuffled copy of ``seq``."""
         out = list(seq)

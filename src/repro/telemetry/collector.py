@@ -53,6 +53,26 @@ class TelemetryCollector:
             self._window_errors[service] += 1
         self._window_latencies[service].append(latency_ms)
 
+    def record_request_bulk(
+        self, service: str, count: int, errors: int = 0,
+        latencies=(),
+    ) -> None:
+        """Aggregate-mode sink: account ``count`` requests in one call.
+
+        Counts feed ``request_rate``/``error_rate`` exactly as ``count``
+        individual :meth:`record_request` calls would; ``latencies`` is a
+        *bounded exemplar sample* of the batch (not all ``count`` values),
+        so scrape percentiles in aggregate mode are estimates from a small
+        reservoir rather than the full population.
+        """
+        if count <= 0:
+            return
+        self._window_requests[service] += int(count)
+        if errors:
+            self._window_errors[service] += int(errors)
+        if latencies:
+            self._window_latencies[service].extend(latencies)
+
     # -- scraping ---------------------------------------------------------
     def _baseline(self, service: str) -> tuple[float, float]:
         if service not in self._cpu_baseline:

@@ -63,6 +63,9 @@ class WorkloadDriver:
         only the legacy :meth:`run_for` loop is available.
     """
 
+    #: execution modes; re-exported as ``repro.core.env.FIDELITY_TIERS``
+    MODES = ("per_request", "aggregate")
+
     def __init__(
         self,
         runtime: ServiceRuntime,
@@ -72,13 +75,19 @@ class WorkloadDriver:
         seed: int = 0,
         max_requests_per_tick: int = 200,
         queue: Optional[EventQueue] = None,
+        mode: str = "per_request",
     ) -> None:
         if not mix:
             raise ValueError("workload mix must not be empty")
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
         self.runtime = runtime
+        self.mode = mode
         self._policy: RatePolicy = policy or ConstantRate(100.0)
         self._zero_hint: Optional[Callable[[float], Optional[float]]] = \
             getattr(self._policy, "zero_until", None)
+        self._change_hint: Optional[Callable[[float], Optional[float]]] = \
+            getattr(self._policy, "next_change", None)
         self.scrape_interval = scrape_interval
         self.rng = RngStream(seed, "workload")
         self.stats = WorkloadStats()
@@ -105,6 +114,7 @@ class WorkloadDriver:
     def policy(self, policy: RatePolicy) -> None:
         self._policy = policy
         self._zero_hint = getattr(policy, "zero_until", None)
+        self._change_hint = getattr(policy, "next_change", None)
 
     def attach_queue(self, queue: EventQueue) -> None:
         """Bind the driver to an event queue (enables :meth:`run_events`)."""
@@ -151,7 +161,11 @@ class WorkloadDriver:
         clock = self.runtime.clock
         self._window_start = clock.now
         self._window_end = clock.now + seconds
-        self.queue.schedule_at(clock.now, self._tick, label="workload.tick")
+        if self.mode == "aggregate":
+            self.queue.schedule_at(clock.now, self._tick_batch,
+                                   label="workload.batch")
+        else:
+            self.queue.schedule_at(clock.now, self._tick, label="workload.tick")
         self.queue.run_until(self._window_end)
         return self.stats
 
@@ -206,6 +220,71 @@ class WorkloadDriver:
                     b = nb
                 at = b
         self.queue.schedule_at(at, self._tick, label="workload.tick")
+
+    # ------------------------------------------------------------------
+    # aggregate mode: coalesced spans over execute_many
+    # ------------------------------------------------------------------
+    def _tick_batch(self) -> None:
+        """One aggregate span: scrape if due, issue the whole span's load
+        as ``execute_many`` batches, schedule the next span boundary.
+
+        A span runs from ``now`` to the earliest of: the window end, the
+        next scrape due time, the policy's ``next_change(now)`` hint
+        (falling back to one-second steps for continuously-varying
+        policies), and the next queued non-passive event (which may swap
+        the policy mid-run).  The rate is constant on the span by
+        construction, so the span's request count uses the same
+        ``rate·span + carry`` accumulator arithmetic as the per-request
+        tick — counts match the per-request mode to within float rounding
+        of the span product (±1 per span); outcomes are statistically
+        equivalent, not bit-identical.
+        """
+        clock = self.runtime.clock
+        now = clock.now
+        end = self._window_end
+        if now > self._window_start \
+                and now - self._last_scrape >= self.scrape_interval:
+            self._scrape()
+        if now >= end:
+            return
+        span_end = min(end, self._last_scrape + self.scrape_interval)
+        change = self._change_hint(now) if self._change_hint else None
+        span_end = min(span_end, now + 1.0 if change is None else change)
+        next_event = self.queue.next_active_time()
+        if next_event is not None and next_event > now:
+            span_end = min(span_end, next_event)
+        if span_end <= now:  # scrape was just overdue-adjacent; take a step
+            span_end = min(end, now + 1.0)
+        span = span_end - now
+        want = self._policy.rate(now) * span + self._carry
+        n = int(want)
+        self._carry = want - n
+        # No per-tick volume cap here: the cap exists to stop pathological
+        # policies stalling the per-request walk, but execute_many is
+        # O(outcome branches) regardless of n — high offered rates are
+        # exactly what this mode is for.
+        if n > 0:
+            self._issue_batch(n)
+        self.queue.schedule_at(span_end, self._tick_batch,
+                               label="workload.batch")
+
+    def _issue_batch(self, n: int) -> None:
+        """Split ``n`` arrivals across the operation mix (multinomially —
+        the exact distribution of ``n`` weighted choices) and run one
+        ``execute_many`` per operation."""
+        counts = self.rng.multinomial(n, self._weights)
+        for op, k in zip(self._ops, counts):
+            if k <= 0:
+                continue
+            batch = self.runtime.execute_many(op, k)
+            self.stats.requests += batch.n
+            self.stats.errors += batch.errors
+            self.stats.latency_sum_ms += batch.latency_sum_ms
+            self.stats.per_operation[op] = \
+                self.stats.per_operation.get(op, 0) + batch.n
+            self.recent_results.extend(batch.exemplars)
+        if len(self.recent_results) > 500:
+            del self.recent_results[:250]
 
     # ------------------------------------------------------------------
     # legacy tick loop

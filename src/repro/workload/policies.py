@@ -10,12 +10,24 @@ from typing import Protocol, Sequence
 class RatePolicy(Protocol):
     """Maps virtual time to an offered request rate (req/s).
 
-    Policies may additionally implement ``zero_until(t) -> float | None``:
-    if the rate is *exactly* zero everywhere on ``[t, u)`` return ``u``
-    (``math.inf`` for "forever"), else return ``None``.  The event kernel
-    uses this hint to fast-forward across provably idle spans instead of
-    evaluating every tick; a policy without the hint is simply never
-    fast-forwarded.
+    Policies may additionally implement two optional hints:
+
+    ``zero_until(t) -> float | None``
+        If the rate is *exactly* zero everywhere on ``[t, u)`` return
+        ``u`` (``math.inf`` for "forever"), else ``None``.  The event
+        kernel uses this to fast-forward across provably idle spans
+        instead of evaluating every tick; a policy without the hint is
+        simply never fast-forwarded.  Because the kernel trusts the hint
+        bit-for-bit, implementations must be conservative about float
+        rounding near span edges (shrink, never stretch).
+
+    ``next_change(t) -> float | None``
+        The earliest time strictly after ``t`` at which the rate *may*
+        change: ``math.inf`` for "constant forever", ``None`` for
+        "continuously varying / unknown".  The aggregate workload driver
+        coalesces the whole constant span ``[t, next_change(t))`` into a
+        single ``execute_many`` batch; without the hint (or with
+        ``None``) it falls back to one-second spans.
     """
 
     def rate(self, t: float) -> float:  # pragma: no cover - protocol
@@ -36,6 +48,9 @@ class ConstantRate:
     def zero_until(self, t: float) -> float | None:
         return math.inf if self.rps == 0 else None
 
+    def next_change(self, t: float) -> float | None:
+        return math.inf
+
 
 @dataclass
 class DiurnalRate:
@@ -48,9 +63,35 @@ class DiurnalRate:
     amplitude: float = 0.5
     period: float = 86_400.0
 
+    #: phase margin (radians) shaved off both ends of the zero span so
+    #: float rounding near the sin crossings can never make the hint
+    #: claim zero where ``rate`` evaluates non-zero
+    _ZERO_PHASE_MARGIN = 1e-6
+
     def rate(self, t: float) -> float:
         r = self.base * (1.0 + self.amplitude * math.sin(2 * math.pi * t / self.period))
         return max(r, 0.0)
+
+    def zero_until(self, t: float) -> float | None:
+        """Night clipping: with ``amplitude > 1`` the clamped rate is
+        exactly 0 while ``sin`` is below ``-1/amplitude`` — a piecewise
+        zero span once per period the kernel can fast-forward across."""
+        if self.base == 0:
+            return math.inf
+        if self.base < 0:  # clamp inverts: zero where sin is *high*; no hint
+            return None
+        if self.amplitude <= 1.0:  # never clamps (negative A: no hint)
+            return None
+        two_pi = 2.0 * math.pi
+        theta = math.asin(1.0 / self.amplitude)
+        lo = math.pi + theta + self._ZERO_PHASE_MARGIN
+        hi = two_pi - theta - self._ZERO_PHASE_MARGIN
+        if lo >= hi:
+            return None
+        x = (t % self.period) / self.period * two_pi
+        if lo <= x < hi:
+            return t + (hi - x) * self.period / two_pi
+        return None
 
 
 @dataclass
@@ -69,6 +110,28 @@ class BurstRate:
     def rate(self, t: float) -> float:
         phase = t % self.interval
         return self.base * (self.burst_factor if phase < self.burst_duration else 1.0)
+
+    def _boundary_margin(self) -> float:
+        """Float modulo isn't linear, so a span end computed as
+        ``t + (boundary - phase)`` can land an ulp past the true phase
+        boundary; shrinking hints by this margin keeps them sound."""
+        return 1e-9 * max(self.interval, 1.0)
+
+    def zero_until(self, t: float) -> float | None:
+        if self.base == 0:
+            return math.inf
+        if self.burst_factor == 0:
+            phase = t % self.interval
+            if phase < self.burst_duration:
+                u = t + (self.burst_duration - phase) - self._boundary_margin()
+                return u if u > t else None
+        return None
+
+    def next_change(self, t: float) -> float | None:
+        phase = t % self.interval
+        if phase < self.burst_duration:
+            return t + (self.burst_duration - phase)
+        return t + (self.interval - phase)
 
 
 @dataclass
@@ -95,6 +158,13 @@ class SpikeRate:
             return None if self.spike_factor != 0 else math.inf
         return math.inf
 
+    def next_change(self, t: float) -> float | None:
+        if t < self.at:
+            return self.at
+        if t < self.at + self.duration:
+            return self.at + self.duration
+        return math.inf
+
 
 @dataclass
 class ReplayTrace:
@@ -116,5 +186,11 @@ class ReplayTrace:
             return None
         for ts, r in self.points:
             if ts > t and r != 0.0:
+                return ts
+        return math.inf
+
+    def next_change(self, t: float) -> float | None:
+        for ts, _ in self.points:
+            if ts > t:
                 return ts
         return math.inf

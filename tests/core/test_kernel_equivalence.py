@@ -16,7 +16,7 @@ from repro.apps import HotelReservation, SocialNetwork
 from repro.bench import BenchmarkRunner
 from repro.core import CloudEnvironment
 from repro.problems import scenario_pids
-from repro.workload import ConstantRate
+from repro.workload import BurstRate, ConstantRate, DiurnalRate
 
 #: deliberately irregular: fractional windows move the tick grid around,
 #: which is exactly what agent think-time latencies do in real sessions
@@ -96,6 +96,35 @@ class TestKernelEquivalence:
         tk, _ = scrape_series(kernel)
         tl, _ = scrape_series(legacy)
         assert np.array_equal(tk, tl)
+
+    def test_diurnal_zero_hint_armed_equivalent(self):
+        """DiurnalRate with amplitude > 1 clips to zero for part of each
+        cycle; the kernel fast-forwards those spans via the new
+        ``zero_until`` hint and must stay bit-identical to the loop."""
+        policy = DiurnalRate(base=40, amplitude=1.6, period=120.0)
+        kernel, legacy = self._pair(seed=4, policy=policy)
+        for w in [30.0, 47.3, 61.2, 0.9, 100.0, 33.33]:
+            kernel.advance(w)
+            legacy.driver.run_for(w)
+        assert kernel.driver.stats.requests > 0  # load does flow
+        assert stats_key(kernel) == stats_key(legacy)
+        tk, vk = scrape_series(kernel)
+        tl, vl = scrape_series(legacy)
+        assert np.array_equal(tk, tl) and np.array_equal(vk, vl)
+
+    def test_burst_zero_hint_armed_equivalent(self):
+        """burst_factor=0 makes every burst window a provably idle span."""
+        policy = BurstRate(base=50, burst_factor=0.0, interval=40.0,
+                           burst_duration=12.0)
+        kernel, legacy = self._pair(seed=8, policy=policy)
+        for w in [25.0, 40.0, 7.5, 61.2, 90.0]:
+            kernel.advance(w)
+            legacy.driver.run_for(w)
+        assert kernel.driver.stats.requests > 0
+        assert stats_key(kernel) == stats_key(legacy)
+        tk, vk = scrape_series(kernel)
+        tl, vl = scrape_series(legacy)
+        assert np.array_equal(tk, tl) and np.array_equal(vk, vl)
 
     def test_probe_error_rate_equivalent(self):
         kernel, legacy = self._pair(seed=2, workload_rate=30)

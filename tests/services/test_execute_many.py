@@ -1,0 +1,293 @@
+"""Statistical-equivalence harness for ``ServiceRuntime.execute_many``.
+
+The aggregate tier must match the per-request reference *distributionally*:
+for every fault family, a 5k-request batch and a 5k-iteration ``execute``
+loop (independently seeded deployments of the same app) must agree on
+error rate, per-service error attribution and mean end-to-end latency
+within seeded tolerances — and the batch must be deterministic in
+(seed, n).  Tolerances are sized at ~4 binomial standard deviations at
+n=5000 (≈0.028 for a p=0.5 rate), so a correct implementation fails with
+probability < 1e-4 per assertion while systematic skew is caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import HotelReservation
+from repro.kubesim import Cluster, Helm, Kubectl
+from repro.simcore import SimClock
+from repro.telemetry import TelemetryCollector
+
+N = 5000
+SEED = 11
+OP = "search_hotel"
+#: absolute tolerance on rates (error rate, attribution fractions)
+RATE_TOL = 0.03
+#: relative tolerance on mean latency (CLT at n=5000 is well inside this)
+LATENCY_RTOL = 0.05
+
+
+class Deployed:
+    def __init__(self, seed: int = SEED):
+        self.clock = SimClock()
+        self.cluster = Cluster(clock=self.clock, seed=seed)
+        self.collector = TelemetryCollector(self.clock, seed=seed)
+        self.app = HotelReservation()
+        self.runtime = self.app.deploy(self.cluster, self.collector, seed=seed)
+
+
+def _apply_healthy(d: Deployed) -> None:
+    pass
+
+
+def _apply_network_loss(d: Deployed) -> None:
+    d.runtime.network_loss["search"] = 0.4
+
+
+def _apply_backend_down(d: Deployed) -> None:
+    d.app.backends["mongodb-geo"].up = False
+
+
+def _apply_auth_failure(d: Deployed) -> None:
+    d.app.backends["mongodb-geo"].revoke_roles("admin")
+
+
+def _apply_buggy_image(d: Deployed) -> None:
+    dep = d.cluster.get_deployment(d.app.namespace, "geo")
+    dep.template.containers[0].image = "deathstarbench/hotel-geo:buggy-v2"
+    d.cluster.reconcile()
+
+
+FAULT_FAMILIES = {
+    "healthy": _apply_healthy,
+    "network_loss": _apply_network_loss,
+    "backend_down": _apply_backend_down,
+    "auth_failure": _apply_auth_failure,
+    "buggy_image": _apply_buggy_image,
+}
+
+
+def _per_request_reference(apply_fault) -> tuple[float, dict[str, float], float]:
+    """(error rate, per-service attribution fractions, mean latency) from
+    an N-iteration ``execute`` loop on a fresh deployment."""
+    d = Deployed()
+    apply_fault(d)
+    errors = 0
+    latency_sum = 0.0
+    attribution: dict[str, int] = {}
+    for _ in range(N):
+        r = d.runtime.execute(OP)
+        if not r.ok:
+            errors += 1
+            for s in r.error_services:
+                attribution[s] = attribution.get(s, 0) + 1
+        latency_sum += r.latency_ms
+    return (errors / N,
+            {s: c / N for s, c in attribution.items()},
+            latency_sum / N)
+
+
+def _batch(apply_fault, n: int = N, seed: int = SEED):
+    d = Deployed(seed)
+    apply_fault(d)
+    return d, d.runtime.execute_many(OP, n)
+
+
+class TestStatisticalEquivalence:
+    @pytest.mark.parametrize("family", sorted(FAULT_FAMILIES))
+    def test_matches_per_request_reference(self, family):
+        apply_fault = FAULT_FAMILIES[family]
+        ref_err, ref_attr, ref_latency = _per_request_reference(apply_fault)
+        _, batch = _batch(apply_fault)
+
+        assert batch.n == N
+        assert batch.error_rate == pytest.approx(ref_err, abs=RATE_TOL), \
+            f"{family}: error rate diverged"
+        assert batch.mean_latency_ms == pytest.approx(
+            ref_latency, rel=LATENCY_RTOL), f"{family}: mean latency diverged"
+        # error attribution: same service set, same per-service fractions
+        batch_attr = {s: c / N for s, c in batch.error_services.items()}
+        assert set(batch_attr) == set(ref_attr), \
+            f"{family}: attributed services differ"
+        for svc, frac in ref_attr.items():
+            assert batch_attr[svc] == pytest.approx(frac, abs=RATE_TOL), \
+                f"{family}: attribution for {svc} diverged"
+
+    def test_error_kind_split_under_partial_loss(self):
+        """With partial loss over an auth fault the batch must reproduce
+        the drop-vs-auth competition, not just the total error rate."""
+        def apply(d: Deployed) -> None:
+            d.runtime.network_loss["search"] = 0.3
+            d.app.backends["mongodb-geo"].revoke_roles("admin")
+
+        _, batch = _batch(apply)
+        assert batch.error_rate == 1.0
+        drops = batch.error_kinds.get("network_drop", 0) / N
+        auth = batch.error_kinds.get("not_authorized", 0) / N
+        assert drops == pytest.approx(0.3, abs=RATE_TOL)
+        assert auth == pytest.approx(0.7, abs=RATE_TOL)
+
+    def test_collector_counts_are_exact(self):
+        """Bulk telemetry counts (unlike latency percentiles) are not
+        sampled: every request crossing a service lands in its window."""
+        d, _ = _batch(_apply_healthy, n=1000)
+        assert d.collector._window_requests["frontend"] == 1000
+        assert d.collector._window_requests["geo"] == 1000
+        assert d.collector._window_errors.get("frontend", 0) == 0
+        d2, _ = _batch(_apply_backend_down, n=1000)
+        assert d2.collector._window_errors["frontend"] == 1000
+        # the down backend itself was entered and recorded every request
+        assert d2.collector._window_requests["mongodb-geo"] == 1000
+        assert d2.collector._window_errors["mongodb-geo"] == 1000
+
+    def test_deterministic_given_seed_and_n(self):
+        for family, apply_fault in FAULT_FAMILIES.items():
+            _, a = _batch(apply_fault, n=2000)
+            _, b = _batch(apply_fault, n=2000)
+            assert a.errors == b.errors, family
+            assert a.latency_sum_ms == b.latency_sum_ms, family
+            assert a.error_services == b.error_services, family
+            assert a.error_kinds == b.error_kinds, family
+            assert [r.latency_ms for r in a.exemplars] == \
+                [r.latency_ms for r in b.exemplars], family
+
+    def test_independent_of_interleaved_per_request_calls(self):
+        """The batch stream is derived from the seed, not the per-request
+        generator state — executing requests first must not shift batches."""
+        d1, ref = _batch(_apply_healthy, n=500)
+        d2 = Deployed()
+        for _ in range(50):
+            d2.runtime.execute(OP)
+        got = d2.runtime.execute_many(OP, 500)
+        assert got.latency_sum_ms == ref.latency_sum_ms
+
+    def test_bounded_exemplar_volume(self):
+        d, batch = _batch(_apply_network_loss, n=N)
+        profile = d.runtime._profiles[OP]
+        cap = profile.n_outcomes * d.runtime.BATCH_TRACE_EXEMPLARS
+        assert len(batch.exemplars) <= cap
+        assert len(d.collector.traces) <= cap
+        # exemplars cover both failed and successful branches
+        assert {r.ok for r in batch.exemplars} == {True, False}
+
+    def test_unknown_operation_rejected(self):
+        d = Deployed()
+        with pytest.raises(KeyError):
+            d.runtime.execute_many("no_such_op", 10)
+
+    def test_zero_and_negative_n(self):
+        d = Deployed()
+        assert d.runtime.execute_many(OP, 0).n == 0
+        with pytest.raises(ValueError):
+            d.runtime.execute_many(OP, -1)
+
+
+class TestProfileCacheInvalidation:
+    """The path profile is a derived cache over cluster/backend/helm state;
+    every mutator an agent (or fault) can reach must invalidate it —
+    the ``_dirty``-style staleness bug class this guards against."""
+
+    def _compiles(self, d: Deployed) -> int:
+        return d.runtime.profile_stats["compiles"]
+
+    def test_cache_hit_without_mutation(self):
+        d, _ = _batch(_apply_healthy, n=100)
+        before = self._compiles(d)
+        d.runtime.execute_many(OP, 100)
+        assert self._compiles(d) == before
+        assert d.runtime.profile_stats["hits"] >= 1
+
+    def test_kubectl_set_image_invalidates(self):
+        d, first = _batch(_apply_healthy, n=500)
+        kubectl = Kubectl(d.cluster)
+        out = kubectl.run(
+            f"kubectl set image deployment/geo "
+            f"geo=deathstarbench/hotel-geo:buggy-v2 -n {d.app.namespace}")
+        assert "image updated" in out
+        before = self._compiles(d)
+        batch = d.runtime.execute_many(OP, 500)
+        assert self._compiles(d) > before
+        assert first.errors == 0 and batch.errors == 500
+        assert batch.error_kinds == {"app_bug": 500}
+
+    def test_helm_upgrade_invalidates(self):
+        d, first = _batch(_apply_healthy, n=500)
+        d.app.helm.upgrade(d.app.release_name,
+                           {"mongo_credentials": {"mongodb-rate": None}})
+        before = self._compiles(d)
+        batch = d.runtime.execute_many(OP, 500)
+        assert self._compiles(d) > before
+        assert first.errors == 0 and batch.errors == 500
+        assert "auth_failed" in batch.error_kinds
+
+    def test_helm_values_surgery_invalidates(self):
+        """The AuthenticationMissing injector edits release values in
+        place (no revision bump) — the credentials snapshot must catch it."""
+        d, first = _batch(_apply_healthy, n=500)
+        release = d.app.helm.releases[d.app.release_name]
+        release.values["mongo_credentials"]["mongodb-rate"] = None
+        before = self._compiles(d)
+        batch = d.runtime.execute_many(OP, 500)
+        assert self._compiles(d) > before
+        assert batch.errors == 500
+
+    def test_pod_delete_invalidates(self):
+        d, _ = _batch(_apply_healthy, n=100)
+        pod = [p for p in d.cluster.pods_in(d.app.namespace)
+               if p.owner == "geo"][0]
+        d.cluster.delete_pod(d.app.namespace, pod.name)
+        before = self._compiles(d)
+        batch = d.runtime.execute_many(OP, 100)
+        assert self._compiles(d) > before
+        # the controller recreated the pod, so outcomes stay healthy
+        assert batch.errors == 0
+
+    def test_scale_to_zero_invalidates_and_shifts(self):
+        d, first = _batch(_apply_healthy, n=500)
+        d.cluster.scale_deployment(d.app.namespace, "search", 0)
+        batch = d.runtime.execute_many(OP, 500)
+        assert first.errors == 0 and batch.errors == 500
+        assert batch.error_kinds == {"connection_refused": 500}
+        # and back
+        d.cluster.scale_deployment(d.app.namespace, "search", 1)
+        assert d.runtime.execute_many(OP, 500).errors == 0
+
+    def test_backend_toggle_invalidates(self):
+        d, first = _batch(_apply_healthy, n=500)
+        d.app.backends["memcached-rate"].up = False
+        batch = d.runtime.execute_many(OP, 500)
+        assert first.errors == 0 and batch.errors == 500
+        assert batch.error_kinds == {"unavailable": 500}
+        d.app.backends["memcached-rate"].up = True
+        assert d.runtime.execute_many(OP, 500).errors == 0
+
+    def test_mongo_user_mutations_invalidate(self):
+        d, first = _batch(_apply_healthy, n=500)
+        backend = d.app.backends["mongodb-geo"]
+        backend.revoke_roles("admin")
+        assert d.runtime.execute_many(OP, 500).errors == 500
+        backend.grant_roles("admin", {"readWrite"})
+        assert d.runtime.execute_many(OP, 500).errors == 0
+        backend.drop_user("admin")
+        batch = d.runtime.execute_many(OP, 500)
+        assert batch.error_kinds == {"user_not_found": 500}
+
+    def test_network_loss_change_invalidates(self):
+        d, first = _batch(_apply_healthy, n=1000)
+        d.runtime.network_loss["search"] = 0.5
+        before = self._compiles(d)
+        lossy = d.runtime.execute_many(OP, 1000)
+        assert self._compiles(d) > before
+        assert lossy.error_rate == pytest.approx(0.5, abs=0.06)
+        del d.runtime.network_loss["search"]
+        assert d.runtime.execute_many(OP, 1000).errors == 0
+
+    def test_entry_unreachable_fast_fail(self):
+        d, _ = _batch(_apply_healthy, n=10)
+        d.cluster.scale_deployment(d.app.namespace, "frontend", 0)
+        batch = d.runtime.execute_many(OP, 200)
+        assert batch.errors == 200
+        assert batch.error_kinds == {"connection_refused": 200}
+        assert batch.error_services == {"frontend": 200}
+        assert batch.latency_sum_ms == pytest.approx(200.0)

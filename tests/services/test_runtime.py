@@ -117,6 +117,45 @@ class TestConnectivityFaultPath:
         assert result.error.kind is RpcErrorKind.CONNECTION_REFUSED
 
 
+class TestLogPodAttribution:
+    """`_pod_for` is memoized (it used to scan every pod per log line);
+    the memo must track pod churn, not serve stale names."""
+
+    def test_log_attribution_tracks_pod_delete(self, hotel):
+        ns = hotel.app.namespace
+        rt = hotel.runtime
+        pod_before = rt._pod_for("geo")
+        assert pod_before.startswith("geo-")
+        hotel.cluster.delete_pod(ns, pod_before)
+        pod_after = rt._pod_for("geo")
+        assert pod_after.startswith("geo-")
+        assert pod_after != pod_before, \
+            "stale memo: logs still attributed to the deleted pod"
+        rt._log("geo", "INFO", "post-delete line")
+        rec = hotel.collector.logs.query(namespace=ns, service="geo")[-1]
+        assert rec.pod == pod_after
+        # the recreated pod exists and is the attribution target
+        assert any(p.name == pod_after
+                   for p in hotel.cluster.pods_in(ns) if p.owner == "geo")
+
+    def test_log_attribution_tracks_crash_loop_flag(self, hotel):
+        """Crash-loop flips mutate pods in place (no dict-version bump);
+        the reconcile-driven state version must still invalidate the memo."""
+        ns = hotel.app.namespace
+        rt = hotel.runtime
+        assert rt._pod_for("geo").startswith("geo-")
+        for pod in hotel.cluster.pods_in(ns):
+            if pod.owner == "geo":
+                pod.crash_looping = True
+        hotel.cluster.reconcile()
+        assert rt._pod_for("geo") == "geo-<none>"
+
+    def test_memo_hit_is_stable_between_mutations(self, hotel):
+        rt = hotel.runtime
+        first = rt._pod_for("search")
+        assert rt._pod_for("search") is first  # same cached string object
+
+
 class TestCredentialsProvider:
     def test_missing_credentials_fail_handshake(self, hotel):
         release = hotel.app.helm.releases[hotel.app.release_name]

@@ -1,6 +1,9 @@
 import pytest
 
-from repro.workload import ConstantRate, WorkloadDriver, Wrk
+from repro.core import CloudEnvironment
+from repro.apps import HotelReservation
+from repro.workload import BurstRate, ConstantRate, DiurnalRate, \
+    WorkloadDriver, Wrk
 
 
 class TestWorkloadDriver:
@@ -60,6 +63,111 @@ class TestWorkloadDriver:
     def test_recent_results_bounded(self, hotel):
         hotel.driver.run_for(30)
         assert len(hotel.driver.recent_results) <= 500
+
+
+class TestAggregateMode:
+    """mode="aggregate": coalesced spans over execute_many batches."""
+
+    def _env(self, fidelity, policy=None, rate=60.0, seed=5):
+        return CloudEnvironment(HotelReservation, seed=seed,
+                                workload_rate=rate, policy=policy,
+                                fidelity=fidelity)
+
+    def test_invalid_mode_rejected(self, hotel):
+        with pytest.raises(ValueError):
+            WorkloadDriver(hotel.runtime, hotel.app.workload_mix(),
+                           ConstantRate(1), mode="nope")
+
+    def test_request_counts_match_per_request(self):
+        """The span accumulator uses the same rate·span + carry arithmetic;
+        only float rounding of the span product can shift a request across
+        a boundary, so counts agree to within ±1 per window."""
+        agg = self._env("aggregate")
+        per = self._env("per_request")
+        windows = (30.0, 3.7, 12.25, 0.4, 54.0)
+        for w in windows:
+            agg.advance(w)
+            per.advance(w)
+        assert per.driver.stats.requests == 6021  # 60 rps × 100.35 s (+float)
+        assert abs(agg.driver.stats.requests
+                   - per.driver.stats.requests) <= len(windows)
+
+    def test_burst_rate_counts_match(self):
+        policy = BurstRate(base=20, burst_factor=4, interval=60,
+                           burst_duration=15)
+        agg = self._env("aggregate", policy=policy)
+        per = self._env("per_request", policy=policy)
+        agg.advance(300.0)
+        per.advance(300.0)
+        assert agg.driver.stats.requests == per.driver.stats.requests
+
+    def test_diurnal_falls_back_to_one_second_spans(self):
+        policy = DiurnalRate(base=30, amplitude=0.5, period=120)
+        agg = self._env("aggregate", policy=policy)
+        per = self._env("per_request", policy=policy)
+        agg.advance(240.0)
+        per.advance(240.0)
+        assert agg.driver.stats.requests == per.driver.stats.requests
+
+    def test_constant_spans_coalesce_to_scrape_boundaries(self):
+        env = self._env("aggregate")
+        calls = []
+        inner = env.runtime.execute_many
+        env.runtime.execute_many = \
+            lambda op, n: calls.append((op, n)) or inner(op, n)
+        env.advance(100.0)  # 20 scrape-bounded spans, ≤4 ops each
+        assert len(calls) <= 20 * 4
+        assert sum(n for _, n in calls) == 6000
+
+    def test_statistics_match_under_fault(self):
+        agg = self._env("aggregate")
+        per = self._env("per_request")
+        for env in (agg, per):
+            env.app.backends["mongodb-geo"].revoke_roles("admin")
+        ra = agg.probe_error_rate(60.0)
+        rp = per.probe_error_rate(60.0)
+        assert ra == pytest.approx(rp, abs=0.05)
+        assert agg.driver.stats.mean_latency_ms == \
+            pytest.approx(per.driver.stats.mean_latency_ms, rel=0.1)
+
+    def test_scrape_series_same_shape(self):
+        agg = self._env("aggregate")
+        per = self._env("per_request")
+        agg.advance(50.0)
+        per.advance(50.0)
+        ta, va = agg.collector.metrics.series("geo", "request_rate").window()
+        tp, vp = per.collector.metrics.series("geo", "request_rate").window()
+        assert len(ta) == len(tp)
+        assert sum(va) == pytest.approx(sum(vp), rel=0.2)
+
+    def test_rate_change_event_respected(self):
+        """A queued set_rate-style event must bound the aggregate span."""
+        env = self._env("aggregate", policy=ConstantRate(0.0))
+        env.queue.schedule_at(
+            20.0, lambda: setattr(env.driver, "policy", ConstantRate(50.0)))
+        env.advance(40.0)
+        assert env.driver.stats.requests == 50 * 20
+
+    def test_deterministic_across_runs(self):
+        a = self._env("aggregate")
+        b = self._env("aggregate")
+        a.advance(60.0)
+        b.advance(60.0)
+        assert a.driver.stats.requests == b.driver.stats.requests
+        assert a.driver.stats.latency_sum_ms == b.driver.stats.latency_sum_ms
+        assert a.driver.stats.per_operation == b.driver.stats.per_operation
+
+    def test_recent_results_bounded_and_populated(self):
+        env = self._env("aggregate")
+        env.advance(120.0)
+        assert 0 < len(env.driver.recent_results) <= 500
+
+    def test_high_rates_not_capped(self):
+        """The per-request tick cap must not apply: batched execution is
+        O(branches) in n, and high offered rates are the tier's purpose."""
+        env = self._env("aggregate", rate=10_000.0)
+        env.advance(10.0)
+        assert env.driver.stats.requests == 100_000
 
 
 class TestWrk:
