@@ -14,8 +14,10 @@ Three windows:
 * ``loaded``         — the benchmark's 60 rps with 5s scrapes (request
   execution dominates; the two paths should be near parity).
 
-"before" = the seed's hand-rolled 1-second tick loop
-(``driver.run_for``); "after" = the event kernel (``env.advance``).
+"before" = the seed's hand-rolled 1-second tick loop (inlined below —
+the public ``WorkloadDriver.run_for`` was removed; the bit-exact
+reference lives in ``tests/core/test_kernel_equivalence.py``); "after" =
+the event kernel (``env.advance``).
 
 Usage::
 
@@ -42,6 +44,28 @@ def _make_env(rate: float, scrape_interval: float) -> CloudEnvironment:
     return env
 
 
+def _tick_loop(driver, seconds: float) -> None:
+    """The seed's 1-second tick loop, as the *benchmark baseline only*.
+
+    The bit-exact reference (and the equivalence proof) lives in
+    tests/core/test_kernel_equivalence.py::legacy_run_for; this replica
+    only needs to stay representative of per-tick stepping cost, not
+    bit-identical to it.
+    """
+    clock = driver.runtime.clock
+    end = clock.now + seconds
+    while clock.now < end:
+        step = min(1.0, end - clock.now)
+        want = driver.policy.rate(clock.now) * step + driver._carry
+        n = int(want)
+        driver._carry = want - n
+        for _ in range(min(n, driver.max_requests_per_tick)):
+            driver._issue_one()
+        clock.advance(step)
+        if clock.now - driver._last_scrape >= driver.scrape_interval:
+            driver._scrape()
+
+
 def _measure(run, virtual_seconds: float) -> float:
     t0 = time.perf_counter()
     run(virtual_seconds)
@@ -59,7 +83,8 @@ def bench_window(name: str, rate: float, scrape_interval: float,
         order = ("kernel", "tick") if i % 2 else ("tick", "kernel")
         for kind in order:
             env = _make_env(rate, scrape_interval)
-            fn = env.driver.run_for if kind == "tick" else env.advance
+            fn = (lambda s, d=env.driver: _tick_loop(d, s)) \
+                if kind == "tick" else env.advance
             got = _measure(fn, virtual_seconds)
             if kind == "tick":
                 tick = max(tick, got)
@@ -101,7 +126,7 @@ def main() -> None:
         payload = {}
     payload.update({
         "benchmark": "event kernel advance() throughput (virtual s / wall s)",
-        "before": "seed tick loop (WorkloadDriver.run_for)",
+        "before": "seed tick loop (inlined reference; public run_for removed)",
         "after": "event kernel (CloudEnvironment.advance)",
         "python": platform.python_version(),
         "windows": windows,

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Render ``BENCH_kernel.json``'s per-PR ``trajectory`` list to an SVG.
+
+Each trajectory entry is one PR's hot-path measurement (appended by
+``scripts/bench_execute.py``).  This plots ``speedup_at_10k`` and
+``best_speedup`` per entry on a log scale — a tiny, dependency-free
+hand-rolled SVG so the CI ``kernel-bench`` job can publish the perf
+trajectory as an artifact next to the raw JSON.
+
+Usage::
+
+    python scripts/plot_trajectory.py [--in BENCH_kernel.json] [--out trajectory.svg]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+from pathlib import Path
+
+WIDTH, HEIGHT = 640, 360
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 20, 40, 70
+SERIES = (("speedup_at_10k", "#2563eb"), ("best_speedup", "#d97706"))
+
+
+def _points(entries: list[dict], key: str) -> list[tuple[int, float]]:
+    return [(i, e[key]) for i, e in enumerate(entries)
+            if isinstance(e.get(key), (int, float)) and e[key] > 0]
+
+
+def render(entries: list[dict]) -> str:
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+    values = [v for key, _ in SERIES for _, v in _points(entries, key)]
+    lo = min(1.0, *values) if values else 1.0
+    hi = max(10.0, *values) if values else 10.0
+    lg_lo, lg_hi = math.floor(math.log10(lo)), math.ceil(math.log10(hi))
+    lg_hi = max(lg_hi, lg_lo + 1)
+
+    def x(i: int) -> float:
+        n = max(len(entries) - 1, 1)
+        return MARGIN_L + plot_w * (i / n if len(entries) > 1 else 0.5)
+
+    def y(v: float) -> float:
+        frac = (math.log10(v) - lg_lo) / (lg_hi - lg_lo)
+        return MARGIN_T + plot_h * (1.0 - frac)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="monospace" font-size="11">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{MARGIN_L}" y="22" font-size="14">'
+        f'execute hot-path speedup trajectory (per PR, log scale)</text>',
+    ]
+    # log gridlines + axis labels
+    for lg in range(lg_lo, lg_hi + 1):
+        gy = y(10.0 ** lg)
+        parts.append(f'<line x1="{MARGIN_L}" y1="{gy:.1f}" '
+                     f'x2="{WIDTH - MARGIN_R}" y2="{gy:.1f}" '
+                     f'stroke="#e5e7eb"/>')
+        parts.append(f'<text x="{MARGIN_L - 8}" y="{gy + 4:.1f}" '
+                     f'text-anchor="end">1e{lg}x</text>')
+    # x labels: entry names
+    for i, e in enumerate(entries):
+        parts.append(
+            f'<text x="{x(i):.1f}" y="{HEIGHT - MARGIN_B + 16}" '
+            f'text-anchor="end" transform="rotate(-30 {x(i):.1f} '
+            f'{HEIGHT - MARGIN_B + 16})">{e.get("entry", f"#{i}")}</text>')
+    # series
+    for si, (key, color) in enumerate(SERIES):
+        pts = _points(entries, key)
+        if len(pts) > 1:
+            path = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in pts)
+            parts.append(f'<polyline points="{path}" fill="none" '
+                         f'stroke="{color}" stroke-width="2"/>')
+        for i, v in pts:
+            parts.append(f'<circle cx="{x(i):.1f}" cy="{y(v):.1f}" r="4" '
+                         f'fill="{color}"/>')
+        ly = 22 + 16 * (si + 1)
+        parts.append(f'<circle cx="{WIDTH - 170}" cy="{ly - 4}" r="4" '
+                     f'fill="{color}"/>')
+        parts.append(f'<text x="{WIDTH - 160}" y="{ly}">{key}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--in", dest="inp", default="BENCH_kernel.json")
+    parser.add_argument("--out", default="trajectory.svg")
+    args = parser.parse_args()
+
+    payload = json.loads(Path(args.inp).read_text())
+    entries = payload.get("trajectory", [])
+    if not entries:
+        raise SystemExit(f"{args.inp} has no trajectory entries to plot")
+    Path(args.out).write_text(render(entries))
+    print(f"wrote {args.out} ({len(entries)} trajectory entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,15 @@ from repro.faults.schedule import (
     TimelineEntry,
     resolve_fault_spec,
 )
+from repro.faults.triggers import (
+    AfterEvent,
+    AtTime,
+    MetricAbove,
+    MetricBelow,
+    MetricTrigger,
+    Trigger,
+    as_trigger,
+)
 
 __all__ = [
     "INJECTOR_CLASSES",
@@ -37,6 +46,13 @@ __all__ = [
     "FaultSchedule",
     "TimelineEntry",
     "resolve_fault_spec",
+    "Trigger",
+    "AtTime",
+    "MetricTrigger",
+    "MetricAbove",
+    "MetricBelow",
+    "AfterEvent",
+    "as_trigger",
     "FaultInjector",
     "InjectedFault",
     "ChaosMesh",

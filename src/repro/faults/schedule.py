@@ -8,13 +8,30 @@ moves through ``advance()`` (which runs the queue), the timeline fires
 *while the agent is working*: delayed-onset faults appear mid-session,
 flapping faults come and go between probes, and cascades unfold in stages.
 
+*When* an entry fires is a first-class :class:`~repro.faults.triggers.Trigger`,
+not just a float:
+
+* :class:`~repro.faults.triggers.AtTime` — fixed offset from arm time
+  (plain floats coerce to this, so time-based schedules read and behave
+  exactly as before);
+* :class:`~repro.faults.triggers.MetricAbove` /
+  :class:`~repro.faults.triggers.MetricBelow` — telemetry thresholds
+  evaluated at scrape time through the collector's
+  :class:`~repro.telemetry.watch.MetricWatch` registry ("once the error
+  rate crosses 5/s for 10 s");
+* :class:`~repro.faults.triggers.AfterEvent` — chains off another entry's
+  firing by ``tag``, whatever condition fired it.
+
 Builders cover the paper-motivated shapes:
 
 * :meth:`FaultSchedule.delayed` — single fault with onset delay;
 * :meth:`FaultSchedule.flapping` — intermittent inject/recover cycles;
 * :meth:`FaultSchedule.cascade` — multiple faults at staggered times;
 * :meth:`FaultSchedule.set_rate` — time-varying workload (diurnal/burst
-  policies taking over at a scheduled moment).
+  policies taking over at a scheduled moment);
+* :meth:`FaultSchedule.when` / :meth:`FaultSchedule.after` — condition-
+  triggered and chained entries ("inject network_loss on the frontend once
+  p99 > 800 ms for 30 s, then cascade to geo when error rate crosses 5/s").
 """
 
 from __future__ import annotations
@@ -26,6 +43,14 @@ from repro.faults.base import FaultInjector
 from repro.faults.functional import ApplicationFaultInjector, VirtFaultInjector
 from repro.faults.library import FAULT_LIBRARY, FaultSpec, get_fault_spec
 from repro.faults.symptomatic import SymptomaticFaultInjector
+from repro.faults.triggers import (
+    AfterEvent,
+    AtTime,
+    MetricTrigger,
+    Trigger,
+    as_trigger,
+)
+from repro.telemetry.watch import MetricWatch
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.env import CloudEnvironment
@@ -53,17 +78,29 @@ def resolve_fault_spec(fault: str | int) -> FaultSpec:
 
 @dataclass(frozen=True)
 class TimelineEntry:
-    """One scheduled step of a fault timeline.
+    """One step of a fault timeline.
 
-    ``at`` is the offset in virtual seconds from the moment the schedule
-    is armed; ``kind`` is ``"inject"``, ``"recover"`` or ``"set_rate"``.
+    ``trigger`` says *when* the entry fires — a :class:`Trigger`, or a
+    plain number of seconds from arm time (coerced to :class:`AtTime`);
+    ``kind`` is ``"inject"``, ``"recover"`` or ``"set_rate"``.  ``tag``
+    names the entry so later entries can chain off it with
+    :class:`AfterEvent`.
     """
 
-    at: float
+    trigger: Trigger
     kind: str
     fault: str | int = ""
     targets: tuple[str, ...] = ()
     policy: Optional["RatePolicy"] = None
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "trigger", as_trigger(self.trigger))
+
+    @property
+    def at(self) -> Optional[float]:
+        """The arm-relative offset for time-triggered entries, else None."""
+        return self.trigger.at if isinstance(self.trigger, AtTime) else None
 
     def describe(self) -> str:
         if self.kind == "set_rate":
@@ -85,10 +122,14 @@ class FaultSchedule:
 
     # -- chainable builders --------------------------------------------
     def _add(self, entry: TimelineEntry) -> "FaultSchedule":
-        if entry.at < 0:
-            raise ValueError(f"timeline offsets must be >= 0, got {entry.at}")
+        if entry.tag and any(e.tag == entry.tag for e in self.entries):
+            raise ValueError(f"duplicate timeline tag {entry.tag!r}")
         self.entries.append(entry)
-        self.entries.sort(key=lambda e: e.at)
+        # Time entries stay time-sorted (presentation + duration); the
+        # sort is stable, so condition-triggered entries keep insertion
+        # order after them.
+        self.entries.sort(
+            key=lambda e: (0, e.at) if e.at is not None else (1, 0.0))
         return self
 
     @staticmethod
@@ -100,21 +141,49 @@ class FaultSchedule:
                 f"fault {spec.name!r} has no injector "
                 f"(injector={spec.injector!r}) and cannot be scheduled")
 
-    def inject(self, at: float, fault: str | int,
-               targets: Sequence[str]) -> "FaultSchedule":
-        """Inject ``fault`` into ``targets`` ``at`` seconds after arming."""
+    def inject(self, at: float | Trigger, fault: str | int,
+               targets: Sequence[str], *, tag: str = "") -> "FaultSchedule":
+        """Inject ``fault`` into ``targets`` when ``at`` trips (seconds
+        after arming, or any :class:`Trigger`)."""
         self._check_injectable(fault)
-        return self._add(TimelineEntry(at, "inject", fault, tuple(targets)))
+        return self._add(TimelineEntry(as_trigger(at), "inject", fault,
+                                       tuple(targets), tag=tag))
 
-    def recover(self, at: float, fault: str | int,
-                targets: Sequence[str]) -> "FaultSchedule":
-        """Recover ``fault`` on ``targets`` ``at`` seconds after arming."""
+    def recover(self, at: float | Trigger, fault: str | int,
+                targets: Sequence[str], *, tag: str = "") -> "FaultSchedule":
+        """Recover ``fault`` on ``targets`` when ``at`` trips."""
         self._check_injectable(fault)
-        return self._add(TimelineEntry(at, "recover", fault, tuple(targets)))
+        return self._add(TimelineEntry(as_trigger(at), "recover", fault,
+                                       tuple(targets), tag=tag))
 
-    def set_rate(self, at: float, policy: "RatePolicy") -> "FaultSchedule":
-        """Swap the workload's rate policy ``at`` seconds after arming."""
-        return self._add(TimelineEntry(at, "set_rate", policy=policy))
+    def set_rate(self, at: float | Trigger, policy: "RatePolicy", *,
+                 tag: str = "") -> "FaultSchedule":
+        """Swap the workload's rate policy when ``at`` trips."""
+        return self._add(TimelineEntry(as_trigger(at), "set_rate",
+                                       policy=policy, tag=tag))
+
+    def when(self, trigger: Trigger, fault: str | int,
+             targets: Sequence[str], *, kind: str = "inject",
+             tag: str = "") -> "FaultSchedule":
+        """Condition-triggered entry: fire ``kind`` when ``trigger`` trips.
+
+        Sugar for ``inject``/``recover`` with an explicit trigger — reads
+        as the scenario sentence: ``sched.when(MetricAbove("frontend",
+        "latency_p99_ms", 800, sustain_s=30), "NetworkLoss", ("frontend",))``.
+        """
+        if kind == "inject":
+            return self.inject(trigger, fault, targets, tag=tag)
+        if kind == "recover":
+            return self.recover(trigger, fault, targets, tag=tag)
+        raise ValueError(f"when() supports inject/recover, got {kind!r}")
+
+    def after(self, tag: str, fault: str | int, targets: Sequence[str], *,
+              delay: float = 0.0, kind: str = "inject",
+              new_tag: str = "") -> "FaultSchedule":
+        """Chain an entry ``delay`` seconds after the entry tagged ``tag``
+        fires — however that entry was triggered."""
+        return self.when(AfterEvent(tag, delay), fault, targets, kind=kind,
+                         tag=new_tag)
 
     # -- canned shapes -------------------------------------------------
     @classmethod
@@ -151,14 +220,51 @@ class FaultSchedule:
             sched.inject(at, fault, targets)
         return sched
 
+    @classmethod
+    def load_triggered(cls, trigger: MetricTrigger, fault: str | int,
+                       targets: Sequence[str]) -> "FaultSchedule":
+        """A single fault that lands once the system crosses a telemetry
+        threshold — the "fires because the system is already degraded"
+        shape the ROADMAP calls for."""
+        return cls().when(trigger, fault, targets)
+
     # -- properties ----------------------------------------------------
     @property
     def duration(self) -> float:
-        """Offset of the last timeline entry (0 for an empty schedule)."""
-        return self.entries[-1].at if self.entries else 0.0
+        """Offset of the last *time-triggered* entry (0 if none); metric
+        and chained entries have no a-priori fire time."""
+        ats = [e.at for e in self.entries if e.at is not None]
+        return max(ats) if ats else 0.0
+
+    def _validate_chains(self) -> None:
+        """Arm-time validation: AfterEvent tags must resolve, acyclically."""
+        tags = {e.tag for e in self.entries if e.tag}
+        upstream: dict[int, str] = {}
+        for i, e in enumerate(self.entries):
+            if isinstance(e.trigger, AfterEvent):
+                if e.trigger.tag not in tags:
+                    raise ValueError(
+                        f"AfterEvent references unknown tag "
+                        f"{e.trigger.tag!r}")
+                upstream[i] = e.trigger.tag
+        # cycle check: follow tag → entry → its upstream tag
+        by_tag = {e.tag: i for i, e in enumerate(self.entries) if e.tag}
+        for start in upstream:
+            seen = {start}
+            i = start
+            while i in upstream:
+                i = by_tag[upstream[i]]
+                if i in seen:
+                    raise ValueError(
+                        "AfterEvent chain forms a cycle through tag "
+                        f"{self.entries[i].tag!r} — it could never fire")
+                seen.add(i)
 
     def arm(self, env: "CloudEnvironment") -> "ArmedSchedule":
-        """Schedule every entry on ``env.queue`` relative to ``env`` now."""
+        """Bind the timeline to ``env``: time entries become queue events,
+        metric entries become scrape-evaluated watches, chained entries
+        wait for their upstream tag."""
+        self._validate_chains()
         return ArmedSchedule(self, env)
 
 
@@ -166,8 +272,19 @@ class ArmedSchedule:
     """A :class:`FaultSchedule` bound to one environment's event queue.
 
     Keeps the per-family injectors it creates (so ``recover_all`` can undo
-    exactly what was injected), the scheduled events (so a problem teardown
-    can cancel what hasn't fired yet), and a fired log for introspection.
+    exactly what was injected), the scheduled events and armed watches (so
+    a problem teardown can cancel what hasn't fired yet), and a fired log
+    for introspection.
+
+    Arming is trigger-directed:
+
+    * :class:`AtTime` entries are ``schedule_at`` events — byte-for-byte
+      the pre-trigger behavior;
+    * metric entries register a :class:`MetricWatch` with the collector
+      (scrape-time evaluation) **and** attach it to the queue, so span
+      planners count the pending trigger as live activity;
+    * :class:`AfterEvent` entries are held as dependents of their tag and
+      scheduled ``delay`` seconds after the tagged entry fires.
     """
 
     def __init__(self, schedule: FaultSchedule, env: "CloudEnvironment") -> None:
@@ -176,15 +293,50 @@ class ArmedSchedule:
         self.armed_at = env.clock.now
         self._injectors: dict[str, FaultInjector] = {}
         self.events: list["ScheduledEvent"] = []
+        self.watches: list[MetricWatch] = []
+        #: tag -> chained entries waiting on it
+        self._dependents: dict[str, list[TimelineEntry]] = {}
         #: (virtual time, entry description) for every fired entry
         self.log: list[tuple[float, str]] = []
         for entry in schedule.entries:
-            ev = env.queue.schedule_at(
-                self.armed_at + entry.at,
-                lambda e=entry: self._fire(e),
-                label=f"fault.{entry.kind}",
-            )
-            self.events.append(ev)
+            trigger = entry.trigger
+            if isinstance(trigger, AtTime):
+                self.events.append(env.queue.schedule_at(
+                    self.armed_at + trigger.at,
+                    lambda e=entry: self._fire(e),
+                    label=f"fault.{entry.kind}",
+                ))
+            elif isinstance(trigger, MetricTrigger):
+                self._check_watchable(trigger, env)
+                watch = MetricWatch(
+                    trigger.service, trigger.metric, trigger.threshold,
+                    above=trigger.above, sustain_s=trigger.sustain_s,
+                    callback=lambda e=entry: self._fire(e),
+                    label=f"fault.{entry.kind}.{trigger.service}",
+                )
+                env.queue.attach_watch(watch)
+                env.collector.add_watch(watch)
+                self.watches.append(watch)
+            elif isinstance(trigger, AfterEvent):
+                self._dependents.setdefault(trigger.tag, []).append(entry)
+            else:  # pragma: no cover - as_trigger rejects unknown kinds
+                raise TypeError(f"unsupported trigger {trigger!r}")
+
+    @staticmethod
+    def _check_watchable(trigger: MetricTrigger, env: "CloudEnvironment") -> None:
+        """Fail at arm time, not silently-never-fire time: a typo'd
+        service or metric name would otherwise skip evaluation at every
+        scrape forever (the collector cannot tell 'not scraped yet' from
+        'does not exist')."""
+        from repro.telemetry.metrics import MetricStore
+        if trigger.service not in env.app.services:
+            raise ValueError(
+                f"metric trigger watches unknown service "
+                f"{trigger.service!r} (not in {env.app.name}'s services)")
+        if trigger.metric not in MetricStore.STANDARD_METRICS:
+            raise ValueError(
+                f"metric trigger watches unknown metric {trigger.metric!r}; "
+                f"scrapes record {MetricStore.STANDARD_METRICS}")
 
     # -- firing --------------------------------------------------------
     def _injector_for(self, spec: FaultSpec) -> FaultInjector:
@@ -204,19 +356,40 @@ class ArmedSchedule:
                 injector._inject(list(entry.targets), spec.fault_key)
             else:
                 injector._recover(list(entry.targets), spec.fault_key)
-        self.log.append((self.env.clock.now, entry.describe()))
+        now = self.env.clock.now
+        self.log.append((now, entry.describe()))
+        if entry.tag:
+            self._release_dependents(entry.tag, now)
+
+    def _release_dependents(self, tag: str, now: float) -> None:
+        """Schedule every entry chained off ``tag`` at ``now + delay``."""
+        for dep in self._dependents.pop(tag, ()):
+            delay = dep.trigger.delay  # type: ignore[union-attr]
+            self.events.append(self.env.queue.schedule_at(
+                now + delay,
+                lambda e=dep: self._fire(e),
+                label=f"fault.{dep.kind}",
+            ))
 
     # -- teardown ------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of timeline entries that have not fired yet."""
-        return sum(1 for ev in self.events
-                   if not ev.fired and not ev.cancelled)
+        """Timeline entries that have not fired yet: unfired events,
+        pending watches, and chained entries still waiting on their tag."""
+        events = sum(1 for ev in self.events
+                     if not ev.fired and not ev.cancelled)
+        watches = sum(1 for w in self.watches if w.pending)
+        chained = sum(len(deps) for deps in self._dependents.values())
+        return events + watches + chained
 
     def cancel_pending(self) -> None:
         """Cancel every entry that has not fired yet."""
         for ev in self.events:
             ev.cancel()
+        for watch in self.watches:
+            watch.cancel()
+            self.env.collector.remove_watch(watch)
+        self._dependents.clear()
 
     def recover_all(self) -> None:
         """Undo every live injection made by this schedule."""

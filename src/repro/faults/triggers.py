@@ -1,0 +1,126 @@
+"""Triggers: first-class "when does a timeline entry fire" conditions.
+
+The original :class:`~repro.faults.schedule.FaultSchedule` could only fire
+entries at wall-clock offsets — a float.  The paper's hardest incidents
+are ones where symptoms and faults *interact*: a fault fires because the
+system is already degraded.  That needs conditions, not timestamps, so
+*when* an entry fires is now a :class:`Trigger`:
+
+* :class:`AtTime` — a fixed offset from arm time (the original behavior;
+  time-based schedules are bit-identical through this path);
+* :class:`MetricAbove` / :class:`MetricBelow` — a telemetry threshold
+  evaluated at scrape time via a
+  :class:`~repro.telemetry.watch.MetricWatch` ("once frontend p99 exceeds
+  800 ms for 30 s"), optionally sustained;
+* :class:`AfterEvent` — chains off another entry's firing by tag ("20 s
+  after the auth revocation landed"), regardless of *why* that entry
+  fired.
+
+Composed, these express closed-loop scenarios: *inject network loss on
+the frontend once p99 > 800 ms for 30 s, then cascade to geo when the
+error rate crosses 5/s*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Trigger:
+    """Base class for timeline firing conditions."""
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class AtTime(Trigger):
+    """Fire at a fixed offset (virtual seconds) after the schedule is armed."""
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"timeline offsets must be >= 0, got {self.at}")
+
+    def describe(self) -> str:
+        return f"t+{self.at:g}s"
+
+
+@dataclass(frozen=True)
+class MetricTrigger(Trigger):
+    """Base for scrape-evaluated threshold conditions.
+
+    ``sustain_s`` demands the condition hold at every scrape across a
+    window of at least that many virtual seconds before firing; ``0``
+    fires at the first satisfying scrape.  Firing is scrape-bounded: the
+    entry lands during the scrape whose values satisfied the condition.
+    """
+
+    service: str
+    metric: str
+    threshold: float
+    sustain_s: float = 0.0
+
+    #: direction of the comparison; fixed per subclass
+    above: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sustain_s < 0:
+            raise ValueError(
+                f"sustain_s must be >= 0, got {self.sustain_s}")
+
+    def describe(self) -> str:
+        op = ">" if self.above else "<"
+        sustain = f" for {self.sustain_s:g}s" if self.sustain_s else ""
+        return (f"when {self.service}.{self.metric} {op} "
+                f"{self.threshold:g}{sustain}")
+
+
+@dataclass(frozen=True)
+class MetricAbove(MetricTrigger):
+    """Fire when ``service.metric`` rises strictly above ``threshold``."""
+
+    above: bool = True
+
+
+@dataclass(frozen=True)
+class MetricBelow(MetricTrigger):
+    """Fire when ``service.metric`` drops strictly below ``threshold``."""
+
+    above: bool = False
+
+
+@dataclass(frozen=True)
+class AfterEvent(Trigger):
+    """Fire ``delay`` seconds after the entry tagged ``tag`` fires.
+
+    Chains are transitive (an :class:`AfterEvent` entry may itself carry a
+    tag that further entries chain off) and condition-agnostic: the
+    upstream entry may be time-, metric- or chain-triggered.  Unknown tags
+    and cyclic chains are rejected when the schedule is armed.
+    """
+
+    tag: str
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.tag:
+            raise ValueError("AfterEvent needs a non-empty tag")
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+    def describe(self) -> str:
+        suffix = f" + {self.delay:g}s" if self.delay else ""
+        return f"after [{self.tag}]{suffix}"
+
+
+def as_trigger(when: "float | int | Trigger") -> Trigger:
+    """Coerce the schedule builders' ``at`` argument: floats stay the
+    original offset semantics, triggers pass through."""
+    if isinstance(when, Trigger):
+        return when
+    if isinstance(when, (int, float)) and not isinstance(when, bool):
+        return AtTime(float(when))
+    raise TypeError(
+        f"expected a number of seconds or a Trigger, got {when!r}")

@@ -2,25 +2,34 @@
 
 The 48-problem benchmark injects its fault before the agent is engaged and
 keeps it active for the whole session.  The scenarios here exercise the
-event kernel's new capability — the fault *timeline* unfolds while the
-agent works:
+event kernel's capabilities — the fault *timeline* unfolds while the agent
+works:
 
 * **delayed onset** — the system is healthy when the session starts and
   breaks mid-investigation;
 * **flapping** — the fault comes and goes, so a single probe can miss it;
 * **cascade** — a second fault lands while the first is being diagnosed;
-* **surge** — a traffic-burst rate policy takes over as the fault lands.
+* **surge** — a traffic-burst rate policy takes over as the fault lands;
+* **load-triggered** — the fault fires only once the system crosses a
+  telemetry threshold (a :class:`~repro.faults.triggers.MetricAbove`
+  trigger evaluated at scrape time), so symptom and fault interact;
+* **chained** — entries fire relative to *other entries'* firing
+  (:class:`~repro.faults.triggers.AfterEvent`), whatever triggered them;
+* **high-rate** — 1k–2k rps variants at ``fidelity="aggregate"``, the
+  batched execution tier, on both applications.
 
-These problems are registered behind :func:`repro.problems.scenario_pids`
-and are *not* part of :func:`~repro.problems.benchmark_pids`, so the
-paper-faithful 48-problem set is untouched.
+Scenarios now span both applications (HotelReservation and
+SocialNetwork).  They are registered behind
+:func:`repro.problems.scenario_pids` and are *not* part of
+:func:`~repro.problems.benchmark_pids`, so the paper-faithful 48-problem
+set is untouched.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.core.env import CloudEnvironment
+from repro.core.env import FIDELITY_TIERS, CloudEnvironment, EnvSpec
 from repro.core.problem import (
     DetectionTask,
     LocalizationTask,
@@ -28,7 +37,8 @@ from repro.core.problem import (
     Problem,
 )
 from repro.faults.schedule import ArmedSchedule, FaultSchedule
-from repro.workload.policies import BurstRate
+from repro.faults.triggers import MetricAbove
+from repro.workload.policies import BurstRate, RatePolicy, SpikeRate
 
 
 class ScheduledFaultProblem(Problem):
@@ -37,11 +47,31 @@ class ScheduledFaultProblem(Problem):
     Subclasses implement :meth:`build_schedule`; arming replaces the
     immediate injection of the base class.  The armed schedule is kept so
     teardown can cancel what hasn't fired and recover what has.
+
+    ``fidelity`` can be overridden per instance (the grading-agreement
+    tests run every scenario family at both execution tiers), and
+    :meth:`rate_policy` lets a scenario drive a non-constant workload from
+    t=0 — load-triggered scenarios need traffic shape, not just rate.
     """
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args, fidelity: Optional[str] = None,
+                 **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        if fidelity is not None:
+            if fidelity not in FIDELITY_TIERS:
+                raise ValueError(
+                    f"fidelity must be one of {FIDELITY_TIERS}, "
+                    f"got {fidelity!r}")
+            self.fidelity = fidelity
         self.armed: Optional[ArmedSchedule] = None
+
+    def rate_policy(self) -> Optional[RatePolicy]:
+        """The workload's rate policy (None → constant ``workload_rate``)."""
+        return None
+
+    def env_spec(self, seed: int = 0) -> EnvSpec:
+        return EnvSpec(seed=seed, workload_rate=self.workload_rate,
+                       fidelity=self.fidelity, policy=self.rate_policy())
 
     def build_schedule(self) -> FaultSchedule:
         raise NotImplementedError
@@ -59,6 +89,10 @@ class ScheduledFaultProblem(Problem):
             self.armed.recover_all()
 
 
+# ---------------------------------------------------------------------------
+# HotelReservation: time-triggered shapes (PR 2's original five)
+# ---------------------------------------------------------------------------
+
 class DelayedRevokeAuthDetection(ScheduledFaultProblem, DetectionTask):
     """Healthy at session start; MongoDB auth is revoked mid-session.
 
@@ -69,9 +103,11 @@ class DelayedRevokeAuthDetection(ScheduledFaultProblem, DetectionTask):
 
     onset_delay = 40.0
 
-    def __init__(self, pid: Optional[str] = None) -> None:
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
         super().__init__(None, target="mongodb-geo",
-                         app_name="HotelReservation", pid=pid, expected="yes")
+                         app_name="HotelReservation", pid=pid, expected="yes",
+                         fidelity=fidelity)
 
     def build_schedule(self) -> FaultSchedule:
         return FaultSchedule.delayed("RevokeAuth", (self.target,),
@@ -81,9 +117,11 @@ class DelayedRevokeAuthDetection(ScheduledFaultProblem, DetectionTask):
 class FlappingNetworkLossDetection(ScheduledFaultProblem, DetectionTask):
     """Intermittent packet loss on the search path: 15s on, 15s off."""
 
-    def __init__(self, pid: Optional[str] = None) -> None:
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
         super().__init__(None, target="search",
-                         app_name="HotelReservation", pid=pid, expected="yes")
+                         app_name="HotelReservation", pid=pid, expected="yes",
+                         fidelity=fidelity)
 
     def build_schedule(self) -> FaultSchedule:
         return FaultSchedule.flapping("NetworkLoss", (self.target,),
@@ -94,9 +132,11 @@ class FlappingNetworkLossDetection(ScheduledFaultProblem, DetectionTask):
 class FlappingPodFailureLocalization(ScheduledFaultProblem, LocalizationTask):
     """The recommendation pods crash-loop in bursts; localize the service."""
 
-    def __init__(self, pid: Optional[str] = None) -> None:
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
         super().__init__(None, target="recommendation",
-                         app_name="HotelReservation", pid=pid)
+                         app_name="HotelReservation", pid=pid,
+                         fidelity=fidelity)
 
     def build_schedule(self) -> FaultSchedule:
         return FaultSchedule.flapping("PodFailure", (self.target,),
@@ -109,9 +149,11 @@ class CascadeGeoOutageLocalization(ScheduledFaultProblem, LocalizationTask):
     recommendation pods fail while the agent is diagnosing.  Ground truth
     is the *root* of the cascade (mongodb-geo)."""
 
-    def __init__(self, pid: Optional[str] = None) -> None:
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
         super().__init__(None, target="mongodb-geo",
-                         app_name="HotelReservation", pid=pid)
+                         app_name="HotelReservation", pid=pid,
+                         fidelity=fidelity)
 
     def build_schedule(self) -> FaultSchedule:
         return FaultSchedule.cascade([
@@ -129,9 +171,11 @@ class SurgeRevokeAuthMitigation(ScheduledFaultProblem, MitigationTask):
     driver's ``max_requests_per_tick`` cap — the offered load is actually
     delivered, not clipped."""
 
-    def __init__(self, pid: Optional[str] = None) -> None:
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
         super().__init__(None, target="mongodb-profile",
-                         app_name="HotelReservation", pid=pid)
+                         app_name="HotelReservation", pid=pid,
+                         fidelity=fidelity)
 
     def build_schedule(self) -> FaultSchedule:
         return (FaultSchedule()
@@ -141,21 +185,224 @@ class SurgeRevokeAuthMitigation(ScheduledFaultProblem, MitigationTask):
                 .inject(20.0, "RevokeAuth", (self.target,)))
 
 
+# ---------------------------------------------------------------------------
+# HotelReservation: condition-triggered and chained shapes
+# ---------------------------------------------------------------------------
+
+class LoadTriggeredNetworkLossDetection(ScheduledFaultProblem, DetectionTask):
+    """The fault fires *because* the system is loaded: recurring traffic
+    bursts (3× every 45s) push the frontend's request rate past 90 req/s,
+    and only then does packet loss land on the search path — closed-loop
+    symptom/fault interaction, not a wall-clock appointment.
+
+    Timing: bursts run [0,15), [45,60), ... and the watch is armed at
+    t=30 (after warmup), so the first satisfying scrape is t=50 — the
+    fault is live before the agent is engaged at t=60."""
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="search",
+                         app_name="HotelReservation", pid=pid, expected="yes",
+                         fidelity=fidelity)
+
+    def rate_policy(self) -> RatePolicy:
+        return BurstRate(base=self.workload_rate, burst_factor=3.0,
+                         interval=45.0, burst_duration=15.0)
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.load_triggered(
+            MetricAbove("frontend", "request_rate", 90.0),
+            "NetworkLoss", (self.target,))
+
+
+class ErrorCascadeLocalization(ScheduledFaultProblem, LocalizationTask):
+    """A degradation-conditioned cascade: geo's auth is revoked on a
+    timer, and once the frontend's error rate has stayed above 2 err/s
+    for 10 sustained seconds, the recommendation pods fail too — the
+    second fault fires because the system is already degraded.  Ground
+    truth is the cascade root (mongodb-geo)."""
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="mongodb-geo",
+                         app_name="HotelReservation", pid=pid,
+                         fidelity=fidelity)
+
+    def build_schedule(self) -> FaultSchedule:
+        return (FaultSchedule()
+                .inject(10.0, "RevokeAuth", (self.target,), tag="root")
+                .when(MetricAbove("frontend", "error_rate", 2.0,
+                                  sustain_s=10.0),
+                      "PodFailure", ("recommendation",)))
+
+
+class ChainedLossRelapseDetection(ScheduledFaultProblem, DetectionTask):
+    """An incident with a relapse, expressed as an event chain: packet
+    loss lands at t=15, heals 25s after it landed, then relapses 20s
+    after the healing — each stage anchored to the previous stage's
+    *firing*, not to wall-clock guesses."""
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="search",
+                         app_name="HotelReservation", pid=pid, expected="yes",
+                         fidelity=fidelity)
+
+    def build_schedule(self) -> FaultSchedule:
+        return (FaultSchedule()
+                .inject(15.0, "NetworkLoss", (self.target,), tag="loss")
+                .after("loss", "NetworkLoss", (self.target,), delay=25.0,
+                       kind="recover", new_tag="healed")
+                .after("healed", "NetworkLoss", (self.target,), delay=20.0))
+
+
+class HighRateDelayedRevokeAuthDetection(DelayedRevokeAuthDetection):
+    """The delayed-onset scenario at 1000 rps on the aggregate tier —
+    "millions of users" scale, same timeline, same grading."""
+
+    workload_rate = 1000.0
+    fidelity = "aggregate"
+
+
+class HighRateCascadeLocalization(CascadeGeoOutageLocalization):
+    """The geo cascade at 2000 rps on the aggregate tier."""
+
+    workload_rate = 2000.0
+    fidelity = "aggregate"
+
+
+# ---------------------------------------------------------------------------
+# SocialNetwork scenarios
+# ---------------------------------------------------------------------------
+
+class DelayedScaleZeroDetection(ScheduledFaultProblem, DetectionTask):
+    """SocialNetwork is healthy at session start; compose-post is scaled
+    to zero pods 40s in (10s into the agent's investigation)."""
+
+    onset_delay = 40.0
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="compose-post-service",
+                         app_name="SocialNetwork", pid=pid, expected="yes",
+                         fidelity=fidelity)
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.delayed("ScalePod", (self.target,),
+                                     self.onset_delay)
+
+
+class FlappingMisconfigDetection(ScheduledFaultProblem, DetectionTask):
+    """user-service's target port flips between broken and fixed — the
+    paper's TargetPortMisconfig as an intermittent incident."""
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="user-service",
+                         app_name="SocialNetwork", pid=pid, expected="yes",
+                         fidelity=fidelity)
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.flapping("TargetPortMisconfig", (self.target,),
+                                      start=5.0, period=30.0, on_for=15.0,
+                                      cycles=6)
+
+
+class SocialCascadeLocalization(ScheduledFaultProblem, LocalizationTask):
+    """A SocialNetwork cascade: user-service's port is misconfigured
+    first, then compose-post is scaled to zero mid-diagnosis.  Ground
+    truth is the root (user-service)."""
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="user-service",
+                         app_name="SocialNetwork", pid=pid,
+                         fidelity=fidelity)
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.cascade([
+            (10.0, "TargetPortMisconfig", (self.target,)),
+            (50.0, "ScalePod", ("compose-post-service",)),
+        ])
+
+
+class LoadTriggeredScaleZeroLocalization(ScheduledFaultProblem,
+                                         LocalizationTask):
+    """A one-off traffic spike (4× at t=45) trips a request-rate watch on
+    the SocialNetwork frontend, and the overload "takes down" compose-post
+    (scaled to zero) — localize the service that failed under load."""
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="compose-post-service",
+                         app_name="SocialNetwork", pid=pid,
+                         fidelity=fidelity)
+
+    def rate_policy(self) -> RatePolicy:
+        return SpikeRate(base=self.workload_rate, spike_factor=4.0,
+                         at=45.0, duration=30.0)
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.load_triggered(
+            MetricAbove("nginx-web-server", "request_rate", 90.0),
+            "ScalePod", (self.target,))
+
+
+class HighRateDelayedMisconfigDetection(ScheduledFaultProblem, DetectionTask):
+    """SocialNetwork at 1500 rps on the aggregate tier; post-storage's
+    target port breaks 20s after arming."""
+
+    workload_rate = 1500.0
+    fidelity = "aggregate"
+    onset_delay = 20.0
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="post-storage-service",
+                         app_name="SocialNetwork", pid=pid, expected="yes",
+                         fidelity=fidelity)
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.delayed("TargetPortMisconfig", (self.target,),
+                                     self.onset_delay)
+
+
 #: pid -> factory, in presentation order
 SCENARIO_FACTORIES: dict[str, Callable[[], Problem]] = {
-    "delayed_revoke_auth_hotel_res-detection-1":
-        lambda: DelayedRevokeAuthDetection(
-            pid="delayed_revoke_auth_hotel_res-detection-1"),
-    "flapping_network_loss_hotel_res-detection-1":
-        lambda: FlappingNetworkLossDetection(
-            pid="flapping_network_loss_hotel_res-detection-1"),
-    "flapping_pod_failure_hotel_res-localization-1":
-        lambda: FlappingPodFailureLocalization(
-            pid="flapping_pod_failure_hotel_res-localization-1"),
-    "cascade_geo_outage_hotel_res-localization-1":
-        lambda: CascadeGeoOutageLocalization(
-            pid="cascade_geo_outage_hotel_res-localization-1"),
-    "surge_revoke_auth_hotel_res-mitigation-1":
-        lambda: SurgeRevokeAuthMitigation(
-            pid="surge_revoke_auth_hotel_res-mitigation-1"),
+    pid: (lambda cls=cls, pid=pid: cls(pid=pid))
+    for pid, cls in {
+        # HotelReservation, time-triggered
+        "delayed_revoke_auth_hotel_res-detection-1":
+            DelayedRevokeAuthDetection,
+        "flapping_network_loss_hotel_res-detection-1":
+            FlappingNetworkLossDetection,
+        "flapping_pod_failure_hotel_res-localization-1":
+            FlappingPodFailureLocalization,
+        "cascade_geo_outage_hotel_res-localization-1":
+            CascadeGeoOutageLocalization,
+        "surge_revoke_auth_hotel_res-mitigation-1":
+            SurgeRevokeAuthMitigation,
+        # HotelReservation, condition-triggered / chained / high-rate
+        "load_triggered_network_loss_hotel_res-detection-1":
+            LoadTriggeredNetworkLossDetection,
+        "error_cascade_hotel_res-localization-1":
+            ErrorCascadeLocalization,
+        "chained_loss_relapse_hotel_res-detection-1":
+            ChainedLossRelapseDetection,
+        "highrate_revoke_auth_hotel_res-detection-1":
+            HighRateDelayedRevokeAuthDetection,
+        "highrate_cascade_hotel_res-localization-1":
+            HighRateCascadeLocalization,
+        # SocialNetwork
+        "delayed_scale_zero_social_net-detection-1":
+            DelayedScaleZeroDetection,
+        "flapping_misconfig_social_net-detection-1":
+            FlappingMisconfigDetection,
+        "cascade_social_outage_social_net-localization-1":
+            SocialCascadeLocalization,
+        "load_triggered_scale_zero_social_net-localization-1":
+            LoadTriggeredScaleZeroLocalization,
+        "highrate_misconfig_social_net-detection-1":
+            HighRateDelayedMisconfigDetection,
+    }.items()
 }

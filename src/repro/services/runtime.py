@@ -392,6 +392,12 @@ class ServiceRuntime:
 
     #: exemplar traces recorded per outcome branch per execute_many call
     BATCH_TRACE_EXEMPLARS = 2
+    #: grown reservoir used when a pending tail-metric watch (latency
+    #: p50/p99 trigger) reads one of this operation's services: scrape
+    #: percentiles come from these exemplars, so a p99 trigger at high
+    #: rates needs more of them for its fire time to converge on the
+    #: per-request fire time (see tests/services/test_execute_many.py)
+    BATCH_TRACE_EXEMPLARS_TAIL = 24
     #: copies of each outcome's deterministic log lines emitted per call
     BATCH_LOG_EXEMPLARS = 2
     #: cap on emitted WARN/INFO noise exemplar lines per call
@@ -544,6 +550,15 @@ class ServiceRuntime:
         profile = self._profile_for(op)
         rng = self._batch_stream()
         counts = rng.multinomial(n, profile.probs)
+        # adaptive exemplar reservoir: a pending p50/p99 watch on any
+        # service this operation touches asks for tail fidelity
+        trace_exemplars = self.BATCH_TRACE_EXEMPLARS
+        tail_services = self.collector.tail_watch_services()
+        if tail_services:
+            involved, _ = self._op_fingerprint_inputs(op)
+            if not tail_services.isdisjoint(involved):
+                trace_exemplars = max(trace_exemplars,
+                                      self.BATCH_TRACE_EXEMPLARS_TAIL)
         #: service -> [requests, errors, latency exemplars]
         bulk: dict[str, list] = {}
 
@@ -594,7 +609,7 @@ class ServiceRuntime:
                 e[1] += k
                 e[2].extend([1.0] * min(k, 2))
             # bounded full-fidelity exemplars
-            for _ in range(min(k, self.BATCH_TRACE_EXEMPLARS)):
+            for _ in range(min(k, trace_exemplars)):
                 result, per_service = self._sample_exemplar(op, outcome, rng)
                 batch.exemplars.append(result)
                 for s, lats in per_service.items():

@@ -11,8 +11,10 @@ from repro.telemetry.metrics import MetricStore, MetricSeries
 from repro.telemetry.traces import Span, Trace, TraceStore
 from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.export import TelemetryExporter
+from repro.telemetry.watch import MetricWatch
 
 __all__ = [
+    "MetricWatch",
     "LogRecord",
     "LogStore",
     "MetricStore",

@@ -9,6 +9,7 @@ from repro.simcore import RngStream, SimClock
 from repro.telemetry.logs import LogStore
 from repro.telemetry.metrics import MetricStore
 from repro.telemetry.traces import Trace, TraceStore
+from repro.telemetry.watch import MetricWatch
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kubesim.cluster import Cluster
@@ -38,6 +39,55 @@ class TelemetryCollector:
         #: per-service synthetic resource baselines, stable across scrapes
         self._cpu_baseline: dict[str, float] = {}
         self._mem_baseline: dict[str, float] = {}
+        #: registered metric watches, evaluated at scrape time in
+        #: registration order (deterministic); resolved/cancelled watches
+        #: are swept lazily after each scrape
+        self._watches: list[MetricWatch] = []
+
+    # -- metric watches ----------------------------------------------------
+    def add_watch(self, watch: MetricWatch) -> MetricWatch:
+        """Register ``watch`` for scrape-time evaluation."""
+        watch.collector = self
+        if watch not in self._watches:
+            self._watches.append(watch)
+        return watch
+
+    def remove_watch(self, watch: MetricWatch) -> None:
+        try:
+            self._watches.remove(watch)
+        except ValueError:
+            pass
+
+    def pending_watches(self) -> list[MetricWatch]:
+        return [w for w in self._watches if w.pending]
+
+    def tail_watch_services(self) -> frozenset[str]:
+        """Services with a pending watch on a reservoir-estimated tail
+        metric (p50/p99) — the runtime grows its per-batch exemplar
+        reservoir for operations touching these (adaptive fidelity)."""
+        return frozenset(w.service for w in self._watches
+                         if w.pending and w.needs_tail)
+
+    def _evaluate_watches(self, now: float) -> None:
+        """Evaluate every pending watch against this scrape's values.
+
+        Runs after the scrape recorded all services' metrics, so a watch
+        sees a consistent snapshot and its callback (which may inject
+        faults or swap rate policies) cannot perturb the scrape that fired
+        it.  A watch whose series has no sample at ``now`` is skipped —
+        its sustain window neither extends nor resets.
+        """
+        fired_any = False
+        for watch in self._watches:
+            if not watch.pending:
+                fired_any = True  # sweep stale entries below
+                continue
+            series = self.metrics.series(watch.service, watch.metric)
+            if series is None or not series.times or series.times[-1] != now:
+                continue
+            fired_any |= watch.evaluate(now, series.values[-1])
+        if fired_any:
+            self._watches = [w for w in self._watches if w.pending]
 
     # -- sink methods used by the service runtime -------------------------
     def emit_log(self, namespace: str, service: str, pod: str,
@@ -120,6 +170,8 @@ class TelemetryCollector:
         self._window_errors.clear()
         self._window_latencies.clear()
         self._last_scrape = now
+        if self._watches:
+            self._evaluate_watches(now)
 
     # -- adapters for kubectl ----------------------------------------------
     def kubectl_log_source(self, namespace: str, pod: str, tail: int) -> str:

@@ -1,0 +1,127 @@
+"""Metric watches: scrape-time-evaluated threshold conditions.
+
+A :class:`MetricWatch` is the telemetry half of the trigger layer (see
+``repro.faults.triggers``): a condition over one ``(service, metric)``
+series — "error rate above 5/s", "p99 over 800 ms sustained for 30 s" —
+that the :class:`~repro.telemetry.collector.TelemetryCollector` evaluates
+at every scrape against the value it just recorded.  When the condition
+has held for ``sustain_s`` seconds of scrape history, the watch fires its
+callback once and resolves.
+
+Firing is **scrape-bounded** by construction: metrics only exist at scrape
+timestamps, so a watch can trip no earlier than the first scrape at which
+its condition holds and no later than one scrape interval after the
+underlying signal crossed the threshold.  This is what makes trigger times
+comparable across execution fidelities — ``per_request`` and ``aggregate``
+runs scrape at the same timestamps, so a watch on an exact-count metric
+(request/error rates) fires at the same simulated time in both.
+
+Watches subclass :class:`repro.simcore.Watch` so they can be registered on
+the environment's :class:`~repro.simcore.events.EventQueue` as live
+activity: a pending watch keeps span planners (idle fast-forward, the
+aggregate driver) from coalescing past the next scrape — the earliest
+point the condition could possibly be evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simcore.events import Watch
+
+#: metrics whose scrape values come from a bounded exemplar reservoir in
+#: aggregate mode (not exact counts) — a pending watch on one of these
+#: asks the runtime for a larger reservoir (see
+#: ``ServiceRuntime.BATCH_TRACE_EXEMPLARS_TAIL``)
+TAIL_METRICS = ("latency_p50_ms", "latency_p99_ms")
+
+
+class MetricWatch(Watch):
+    """One threshold condition over a ``(service, metric)`` series.
+
+    Parameters
+    ----------
+    above:
+        ``True`` fires when ``value > threshold`` (strict), ``False`` when
+        ``value < threshold``.
+    sustain_s:
+        The condition must hold continuously — at every scrape — for at
+        least this many virtual seconds before the watch fires.  ``0``
+        fires at the first satisfying scrape.  A single non-satisfying
+        scrape resets the window.
+    callback:
+        Invoked exactly once, during the scrape at which the watch fires
+        (after all of that scrape's metrics are recorded).
+    """
+
+    def __init__(
+        self,
+        service: str,
+        metric: str,
+        threshold: float,
+        *,
+        above: bool = True,
+        sustain_s: float = 0.0,
+        callback: Optional[Callable[[], None]] = None,
+        label: str = "",
+    ) -> None:
+        if sustain_s < 0:
+            raise ValueError(f"sustain_s must be >= 0, got {sustain_s}")
+        super().__init__(label=label or f"watch.{service}.{metric}")
+        self.service = service
+        self.metric = metric
+        self.threshold = threshold
+        self.above = above
+        self.sustain_s = sustain_s
+        self.callback = callback
+        #: scrape timestamp at which the condition started holding
+        self.satisfied_since: Optional[float] = None
+        #: scrape timestamp at which the watch fired
+        self.fired_at: Optional[float] = None
+        #: the collector evaluating this watch (set by ``add_watch``) so
+        #: ``rearm`` can re-register after the post-fire sweep dropped it
+        self.collector = None
+
+    @property
+    def needs_tail(self) -> bool:
+        """Whether this watch reads a reservoir-estimated tail metric."""
+        return self.metric in TAIL_METRICS
+
+    def satisfied(self, value: float) -> bool:
+        return value > self.threshold if self.above else value < self.threshold
+
+    def evaluate(self, now: float, value: float) -> bool:
+        """One scrape's evaluation; returns True iff the watch fired.
+
+        Draws no randomness and mutates only the watch itself (plus
+        whatever the callback does), so evaluation order is deterministic.
+        """
+        if not self.pending:
+            return False
+        if not self.satisfied(value):
+            self.satisfied_since = None
+            return False
+        if self.satisfied_since is None:
+            self.satisfied_since = now
+        if now - self.satisfied_since < self.sustain_s:
+            return False
+        self.fired_at = now
+        self.resolve()
+        if self.callback is not None:
+            self.callback()
+        return True
+
+    def rearm(self) -> None:
+        """Reset fire/sustain state so the condition can trip again,
+        re-registering with both the queue and the collector (the
+        collector sweeps resolved watches after each scrape)."""
+        self.satisfied_since = None
+        self.fired_at = None
+        super().rearm()
+        if self.collector is not None:
+            self.collector.add_watch(self)
+
+    def describe(self) -> str:
+        op = ">" if self.above else "<"
+        sustain = f" for {self.sustain_s:g}s" if self.sustain_s else ""
+        return f"{self.service}.{self.metric} {op} {self.threshold:g}{sustain}"

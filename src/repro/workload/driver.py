@@ -1,19 +1,17 @@
 """Drives the service runtime: issues requests as virtual time advances.
 
-Two execution paths share the same per-tick arithmetic:
+Everything runs on the event kernel (:meth:`WorkloadDriver.run_events`):
+arrival ticks are :class:`~repro.simcore.events.ScheduledEvent`\\ s on the
+environment's :class:`~repro.simcore.events.EventQueue`, interleaved with
+telemetry, controller-resync and fault-timeline events, and provably idle
+spans are fast-forwarded instead of ticked through.  A standalone driver
+(no environment) lazily owns a private queue on the runtime's clock.
 
-* the **event kernel** path (:meth:`WorkloadDriver.run_events`): arrival
-  ticks are :class:`~repro.simcore.events.ScheduledEvent`\\ s on the
-  environment's :class:`~repro.simcore.events.EventQueue`, interleaved with
-  telemetry, controller-resync and fault-timeline events, and provably idle
-  spans are fast-forwarded instead of ticked through;
-* the **legacy tick loop** (:meth:`WorkloadDriver.run_for`): the seed's
-  hand-rolled 1-second loop, kept as the bit-exact reference
-  implementation and for standalone drivers without a queue.
-
-Both produce identical :class:`WorkloadStats`, RNG draw order and scrape
-timestamps for any window sequence — the kernel-equivalence regression
-test asserts this.
+The kernel's per-tick arithmetic is bit-identical to the seed's
+hand-rolled 1-second tick loop — same :class:`WorkloadStats`, RNG draw
+order and scrape timestamps for any window sequence.  The seed loop
+itself now lives only as a private reference fixture inside
+``tests/core/test_kernel_equivalence.py``, which asserts the equivalence.
 """
 
 from __future__ import annotations
@@ -58,9 +56,9 @@ class WorkloadDriver:
     Parameters
     ----------
     queue:
-        The environment's event queue.  When set, :meth:`run_events`
-        schedules arrival ticks as events (the kernel path); without it
-        only the legacy :meth:`run_for` loop is available.
+        The environment's event queue.  When omitted the driver creates a
+        private queue on the runtime's clock, so standalone drivers (tests,
+        offline baselines) run the same kernel path as environments.
     """
 
     #: execution modes; re-exported as ``repro.core.env.FIDELITY_TIERS``
@@ -88,6 +86,8 @@ class WorkloadDriver:
             getattr(self._policy, "zero_until", None)
         self._change_hint: Optional[Callable[[float], Optional[float]]] = \
             getattr(self._policy, "next_change", None)
+        self._span_hint: Optional[Callable[[float, float], float]] = \
+            getattr(self._policy, "span_rate", None)
         self.scrape_interval = scrape_interval
         self.rng = RngStream(seed, "workload")
         self.stats = WorkloadStats()
@@ -98,7 +98,8 @@ class WorkloadDriver:
         self._carry = 0.0
         self._last_scrape = runtime.clock.now
         self.recent_results: list[RequestResult] = []
-        self.queue = queue
+        # standalone drivers own a private queue; environments share theirs
+        self.queue = queue if queue is not None else EventQueue(runtime.clock)
         self._window_start = runtime.clock.now
         self._window_end = runtime.clock.now
 
@@ -115,10 +116,7 @@ class WorkloadDriver:
         self._policy = policy
         self._zero_hint = getattr(policy, "zero_until", None)
         self._change_hint = getattr(policy, "next_change", None)
-
-    def attach_queue(self, queue: EventQueue) -> None:
-        """Bind the driver to an event queue (enables :meth:`run_events`)."""
-        self.queue = queue
+        self._span_hint = getattr(policy, "span_rate", None)
 
     # ------------------------------------------------------------------
     # shared per-request work
@@ -150,14 +148,11 @@ class WorkloadDriver:
 
         Schedules this window's arrival-tick chain and runs the queue, so
         fault timelines, controller resync and any other scheduled events
-        interleave with the workload on one timeline.  Produces the same
-        stats, RNG draw order and scrape times as :meth:`run_for`.
+        interleave with the workload on one timeline.  Bit-identical to the
+        seed's 1-second tick loop (stats, RNG draw order, scrape times).
         """
         if seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {seconds}")
-        if self.queue is None:
-            raise RuntimeError(
-                "driver has no event queue; use attach_queue() or run_for()")
         clock = self.runtime.clock
         self._window_start = clock.now
         self._window_end = clock.now + seconds
@@ -203,7 +198,9 @@ class WorkloadDriver:
         The walk never passes a queued event: any event may mutate the
         driver (a ``set_rate`` timeline entry swaps the policy), so the
         zero-rate proof only holds up to the next event's fire time — the
-        tick resumes at the first boundary at or after it."""
+        tick resumes at the first boundary at or after it.  Pending metric
+        watches need no extra cap: they can only fire at a scrape, and the
+        walk already stops at every scrape-due boundary."""
         end = self._window_end
         if self._zero_hint is not None and at < end:
             horizon = self._zero_hint(at)
@@ -231,13 +228,23 @@ class WorkloadDriver:
         A span runs from ``now`` to the earliest of: the window end, the
         next scrape due time, the policy's ``next_change(now)`` hint
         (falling back to one-second steps for continuously-varying
-        policies), and the next queued non-passive event (which may swap
-        the policy mid-run).  The rate is constant on the span by
-        construction, so the span's request count uses the same
-        ``rate·span + carry`` accumulator arithmetic as the per-request
-        tick — counts match the per-request mode to within float rounding
-        of the span product (±1 per span); outcomes are statistically
-        equivalent, not bit-identical.
+        policies without one), and the next queued non-passive event
+        (which may swap the policy mid-run).  The scrape bound doubles as
+        the trigger bound: a pending :class:`~repro.simcore.events.Watch`
+        (metric-triggered timeline entry) can only be evaluated — and can
+        only fire — at a scrape, so no span ever coalesces past the
+        earliest possible watch evaluation, and triggers land within one
+        scrape interval of where per-request fidelity lands them.
+
+        The span's request count uses the same ``rate·span + carry``
+        accumulator arithmetic as the per-request tick, billed at
+        ``span_rate(now, span_end)`` when the policy provides the hint
+        (piecewise-approximated continuous policies) and ``rate(now)``
+        otherwise (exact for piecewise-constant policies) — counts match
+        the per-request mode to within float rounding of the span product
+        (±1 per span, plus the policy's documented approximation error for
+        ``span_rate`` policies); outcomes are statistically equivalent,
+        not bit-identical.
         """
         clock = self.runtime.clock
         now = clock.now
@@ -247,16 +254,25 @@ class WorkloadDriver:
             self._scrape()
         if now >= end:
             return
-        span_end = min(end, self._last_scrape + self.scrape_interval)
+        next_scrape = self._last_scrape + self.scrape_interval
+        span_end = min(end, next_scrape)
         change = self._change_hint(now) if self._change_hint else None
         span_end = min(span_end, now + 1.0 if change is None else change)
+        if self.queue.pending_watch_count:
+            # redundant with the unconditional scrape bound above today,
+            # but load-bearing if that bound is ever relaxed: a pending
+            # watch is evaluable no earlier than the next scrape, and no
+            # span may coalesce past its earliest possible evaluation
+            span_end = min(span_end, next_scrape)
         next_event = self.queue.next_active_time()
         if next_event is not None and next_event > now:
             span_end = min(span_end, next_event)
         if span_end <= now:  # scrape was just overdue-adjacent; take a step
             span_end = min(end, now + 1.0)
         span = span_end - now
-        want = self._policy.rate(now) * span + self._carry
+        r = self._span_hint(now, span_end) if self._span_hint is not None \
+            else self._policy.rate(now)
+        want = r * span + self._carry
         n = int(want)
         self._carry = want - n
         # No per-tick volume cap here: the cap exists to stop pathological
@@ -286,35 +302,3 @@ class WorkloadDriver:
         if len(self.recent_results) > 500:
             del self.recent_results[:250]
 
-    # ------------------------------------------------------------------
-    # legacy tick loop
-    # ------------------------------------------------------------------
-    def run_for(self, seconds: float) -> WorkloadStats:
-        """Advance virtual time by ``seconds``, issuing load along the way.
-
-        .. deprecated:: 2.1
-            The seed's hand-rolled 1-second tick loop.  It advances the
-            clock directly and fires **no** scheduled events: fault
-            timelines and resync events stall under it until the next
-            queue run, where anything now overdue fires (late) at the
-            then-current time.  It is kept as the bit-exact reference
-            implementation for the kernel-equivalence test and for
-            standalone drivers; everything environment-level goes through
-            ``CloudEnvironment.advance`` (the event kernel) instead.
-        """
-        if seconds < 0:
-            raise ValueError(f"seconds must be >= 0, got {seconds}")
-        clock = self.runtime.clock
-        end = clock.now + seconds
-        while clock.now < end:
-            step = min(1.0, end - clock.now)
-            t = clock.now
-            want = self._policy.rate(t) * step + self._carry
-            n = int(want)
-            self._carry = want - n
-            for _ in range(min(n, self.max_requests_per_tick)):
-                self._issue_one()
-            clock.advance(step)
-            if clock.now - self._last_scrape >= self.scrape_interval:
-                self._scrape()
-        return self.stats

@@ -28,6 +28,15 @@ class RatePolicy(Protocol):
         coalesces the whole constant span ``[t, next_change(t))`` into a
         single ``execute_many`` batch; without the hint (or with
         ``None``) it falls back to one-second spans.
+
+    ``span_rate(t0, t1) -> float``
+        The average offered rate over ``[t0, t1)``, for policies whose
+        rate varies *within* a ``next_change`` span (a continuously-
+        varying policy approximated piecewise, like :class:`DiurnalRate`).
+        The aggregate driver bills a span as ``span_rate(t0, t1) ·
+        (t1 - t0)`` when the hint exists, else ``rate(t0) · (t1 - t0)``
+        (exact for piecewise-constant policies).  Only called with spans
+        that do not straddle a ``next_change`` boundary.
     """
 
     def rate(self, t: float) -> float:  # pragma: no cover - protocol
@@ -57,20 +66,60 @@ class DiurnalRate:
     """Sinusoidal day/night pattern around a base rate.
 
     ``rate(t) = base * (1 + amplitude * sin(2π t / period))``, clamped at 0.
+
+    For aggregate-mode span coalescing the continuous sinusoid is
+    approximated piecewise-linearly on a grid of ``segments`` equal knots
+    per period: :meth:`next_change` announces the next knot (so spans
+    never straddle one) and :meth:`span_rate` bills a span at the chord
+    average between its endpoints.  With ``segments = S`` the chord error
+    within a smooth segment is bounded by ``max|f''|·h²/8`` with
+    ``h = period/S``, i.e. ``base·|amplitude|·(2π/S)²/8`` — at the default
+    ``S = 96`` (15-minute segments on a 24 h period) that is ~0.054% of
+    ``base·|amplitude|``; a segment containing a clamp crossing
+    (``amplitude > 1``) additionally errs by at most that segment's total
+    rate change.  Per-request mode never reads these hints, so its
+    per-tick arithmetic is untouched.
     """
 
     base: float = 100.0
     amplitude: float = 0.5
     period: float = 86_400.0
+    #: piecewise-linear approximation knots per period (aggregate mode)
+    segments: int = 96
 
     #: phase margin (radians) shaved off both ends of the zero span so
     #: float rounding near the sin crossings can never make the hint
     #: claim zero where ``rate`` evaluates non-zero
     _ZERO_PHASE_MARGIN = 1e-6
 
+    def __post_init__(self) -> None:
+        if self.segments < 1:
+            raise ValueError(
+                f"segments must be >= 1, got {self.segments}")
+
     def rate(self, t: float) -> float:
         r = self.base * (1.0 + self.amplitude * math.sin(2 * math.pi * t / self.period))
         return max(r, 0.0)
+
+    def next_change(self, t: float) -> float | None:
+        """The next piecewise-linear knot strictly after ``t``."""
+        h = self.period / self.segments
+        return (math.floor(t / h) + 1) * h
+
+    def span_rate(self, t0: float, t1: float) -> float:
+        """Chord-average rate on ``[t0, t1)`` (within one segment)."""
+        return 0.5 * (self._chord(t0) + self._chord(t1))
+
+    def _chord(self, t: float) -> float:
+        """The piecewise-linear approximation: interpolate the true
+        (clamped) rate between the surrounding grid knots."""
+        h = self.period / self.segments
+        k = math.floor(t / h)
+        lo, hi = k * h, (k + 1) * h
+        if t <= lo:
+            return self.rate(lo)
+        frac = (t - lo) / h
+        return (1.0 - frac) * self.rate(lo) + frac * self.rate(hi)
 
     def zero_until(self, t: float) -> float | None:
         """Night clipping: with ``amplitude > 1`` the clamped rate is

@@ -35,4 +35,4 @@ class Wrk:
         if self._driver is None:
             raise RuntimeError("Wrk is not bound to an application driver; "
                                "call bind(driver) first")
-        return self._driver.run_for(self.duration)
+        return self._driver.run_events(self.duration)

@@ -7,7 +7,7 @@ from repro.faults import ApplicationFaultInjector, SymptomaticFaultInjector
 
 class TestMKSMC:
     def test_fit_then_detect_healthy(self, hotel):
-        hotel.driver.run_for(60)
+        hotel.driver.run_events(60)
         services = sorted(hotel.app.services)
         det = MKSMC(seed=0)
         det.fit(hotel.collector.metrics, services, until=40.0)
@@ -16,7 +16,7 @@ class TestMKSMC:
         assert verdict.score >= 0
 
     def test_detects_gross_resource_anomaly(self, hotel):
-        hotel.driver.run_for(60)
+        hotel.driver.run_events(60)
         # fabricate a massive CPU spike on one service (overwrite the last
         # scrape so series stay aligned across services)
         hotel.collector.metrics.series("geo", "cpu_usage").values[-1] = 100000.0
@@ -36,7 +36,7 @@ class TestMKSMC:
             MKSMC().score(hotel.collector.metrics, ["a"])
 
     def test_monte_carlo_threshold_reproducible(self, hotel):
-        hotel.driver.run_for(30)
+        hotel.driver.run_events(30)
         services = sorted(hotel.app.services)
         t1 = MKSMC(seed=5).fit(hotel.collector.metrics, services).threshold
         t2 = MKSMC(seed=5).fit(hotel.collector.metrics, services).threshold
@@ -45,23 +45,23 @@ class TestMKSMC:
 
 class TestRMLAD:
     def test_ranks_log_anomalous_service_high(self, hotel):
-        hotel.driver.run_for(30)
+        hotel.driver.run_events(30)
         ApplicationFaultInjector(hotel.app)._inject(["mongodb-geo"],
                                                     "revoke_auth")
-        hotel.driver.run_for(30)
+        hotel.driver.run_events(30)
         result = RMLAD().localize(hotel.collector, hotel.app.namespace,
                                   healthy_until=30.0, observe_until=60.0)
         # geo's error logging explodes: it must rank in the top few
         assert "geo" in result.top(5)
 
     def test_scores_nonnegative(self, hotel):
-        hotel.driver.run_for(40)
+        hotel.driver.run_events(40)
         result = RMLAD().localize(hotel.collector, hotel.app.namespace,
                                   healthy_until=20.0, observe_until=40.0)
         assert all(v >= 0 for v in result.scores.values())
 
     def test_top_k_bounds(self, hotel):
-        hotel.driver.run_for(20)
+        hotel.driver.run_events(20)
         result = RMLAD().localize(hotel.collector, hotel.app.namespace,
                                   healthy_until=10.0, observe_until=20.0)
         assert len(result.top(3)) <= 3
@@ -69,17 +69,17 @@ class TestRMLAD:
 
 class TestPDiagnose:
     def test_votes_combine_modalities(self, hotel):
-        hotel.driver.run_for(30)
+        hotel.driver.run_events(30)
         SymptomaticFaultInjector(hotel.app)._inject(["recommendation"],
                                                     "pod_failure")
-        hotel.driver.run_for(30)
+        hotel.driver.run_events(30)
         result = PDiagnose().localize(hotel.collector, hotel.app.namespace,
                                       since=30.0)
         assert result.ranking, "expected a non-empty ranking"
         assert all(v >= 0 for v in result.votes.values())
 
     def test_weights_respected(self, hotel):
-        hotel.driver.run_for(30)
+        hotel.driver.run_events(30)
         zero = PDiagnose(kpi_weight=0, log_weight=0, trace_weight=0)
         result = zero.localize(hotel.collector, hotel.app.namespace, since=15.0)
         assert all(v == 0 for v in result.votes.values())

@@ -1,12 +1,16 @@
 """The event kernel must be bit-identical to the seed's tick loop.
 
 ``CloudEnvironment.advance`` runs the discrete-event kernel
-(``driver.run_events``); the seed's hand-rolled 1-second tick loop survives
-as ``driver.run_for``.  For any window sequence and fixed seed the two must
-produce the same ``WorkloadStats``, the same RNG draw order (hence
-bit-equal telemetry values) and the same scrape timestamps — this is what
-lets the 48-problem benchmark keep its per-problem results unchanged while
-the environment gains scheduled fault timelines.
+(``driver.run_events``).  The seed's hand-rolled 1-second tick loop — the
+bit-exact reference implementation — lives *only* here now, as the
+private :func:`legacy_run_for` fixture below (``WorkloadDriver.run_for``
+was removed: it advanced the clock without firing queue events, so fault
+timelines and resync stalled under it).  For any window sequence and
+fixed seed the two must produce the same ``WorkloadStats``, the same RNG
+draw order (hence bit-equal telemetry values) and the same scrape
+timestamps — this is what lets the 48-problem benchmark keep its
+per-problem results unchanged while the environment gains scheduled fault
+timelines.
 """
 
 import numpy as np
@@ -21,6 +25,34 @@ from repro.workload import BurstRate, ConstantRate, DiurnalRate
 #: deliberately irregular: fractional windows move the tick grid around,
 #: which is exactly what agent think-time latencies do in real sessions
 WINDOWS = [30.0, 3.7, 5.0, 0.4, 12.3, 1.0, 17.77, 0.0, 8.25]
+
+
+def legacy_run_for(driver, seconds: float):
+    """The seed's 1-second tick loop, preserved bit-for-bit.
+
+    This is the reference implementation the kernel is proven against:
+    identical ``rate(t) * step + carry`` float expressions in identical
+    order, the same ``now - last_scrape >= interval`` scrape check at the
+    same post-advance boundaries.  It advances the clock directly and
+    fires no queue events — which is exactly why it was removed from the
+    public driver surface.
+    """
+    if seconds < 0:
+        raise ValueError(f"seconds must be >= 0, got {seconds}")
+    clock = driver.runtime.clock
+    end = clock.now + seconds
+    while clock.now < end:
+        step = min(1.0, end - clock.now)
+        t = clock.now
+        want = driver.policy.rate(t) * step + driver._carry
+        n = int(want)
+        driver._carry = want - n
+        for _ in range(min(n, driver.max_requests_per_tick)):
+            driver._issue_one()
+        clock.advance(step)
+        if clock.now - driver._last_scrape >= driver.scrape_interval:
+            driver._scrape()
+    return driver.stats
 
 
 def stats_key(env):
@@ -45,7 +77,7 @@ class TestKernelEquivalence:
         kernel, legacy = self._pair(seed=3, workload_rate=45)
         for w in WINDOWS:
             kernel.advance(w)
-            legacy.driver.run_for(w)
+            legacy_run_for(legacy.driver, w)
         assert kernel.clock.now == legacy.clock.now
         assert stats_key(kernel) == stats_key(legacy)
         tk, vk = scrape_series(kernel)
@@ -58,7 +90,7 @@ class TestKernelEquivalence:
                                     workload_rate=30)
         for w in [30.0, 2.5, 2.5, 41.0]:
             kernel.advance(w)
-            legacy.driver.run_for(w)
+            legacy_run_for(legacy.driver, w)
         assert stats_key(kernel) == stats_key(legacy)
         tk, vk = scrape_series(kernel, "user-service")
         tl, vl = scrape_series(legacy, "user-service")
@@ -70,7 +102,7 @@ class TestKernelEquivalence:
         for env in (kernel, legacy):
             env.app.backends["mongodb-geo"].revoke_roles("admin")
         kernel.advance(25.0)
-        legacy.driver.run_for(25.0)
+        legacy_run_for(legacy.driver, 25.0)
         assert kernel.driver.stats.errors > 0
         assert stats_key(kernel) == stats_key(legacy)
 
@@ -78,7 +110,7 @@ class TestKernelEquivalence:
         """The idle fast-path skips boundaries but not scrapes."""
         kernel, legacy = self._pair(seed=7, policy=ConstantRate(0.0))
         kernel.advance(1000.0)
-        legacy.driver.run_for(1000.0)
+        legacy_run_for(legacy.driver, 1000.0)
         assert kernel.driver.stats.requests == 0
         assert stats_key(kernel) == stats_key(legacy)
         tk, vk = scrape_series(kernel)
@@ -92,7 +124,7 @@ class TestKernelEquivalence:
         kernel, legacy = self._pair(seed=1, policy=ConstantRate(0.0))
         for w in [7.3, 93.1, 0.6, 55.55]:
             kernel.advance(w)
-            legacy.driver.run_for(w)
+            legacy_run_for(legacy.driver, w)
         tk, _ = scrape_series(kernel)
         tl, _ = scrape_series(legacy)
         assert np.array_equal(tk, tl)
@@ -105,7 +137,7 @@ class TestKernelEquivalence:
         kernel, legacy = self._pair(seed=4, policy=policy)
         for w in [30.0, 47.3, 61.2, 0.9, 100.0, 33.33]:
             kernel.advance(w)
-            legacy.driver.run_for(w)
+            legacy_run_for(legacy.driver, w)
         assert kernel.driver.stats.requests > 0  # load does flow
         assert stats_key(kernel) == stats_key(legacy)
         tk, vk = scrape_series(kernel)
@@ -119,7 +151,7 @@ class TestKernelEquivalence:
         kernel, legacy = self._pair(seed=8, policy=policy)
         for w in [25.0, 40.0, 7.5, 61.2, 90.0]:
             kernel.advance(w)
-            legacy.driver.run_for(w)
+            legacy_run_for(legacy.driver, w)
         assert kernel.driver.stats.requests > 0
         assert stats_key(kernel) == stats_key(legacy)
         tk, vk = scrape_series(kernel)
@@ -131,7 +163,7 @@ class TestKernelEquivalence:
         for env in (kernel, legacy):
             env.app.backends["mongodb-geo"].revoke_roles("admin")
         k = kernel.probe_error_rate(10)
-        legacy.driver.run_for(10)
+        legacy_run_for(legacy.driver, 10)
         s = legacy.driver.stats
         assert k == pytest.approx(s.errors / s.requests)
         assert stats_key(kernel) == stats_key(legacy)
@@ -142,7 +174,7 @@ class TestKernelRobustness:
         """run_for advances the clock past pending events (it bypasses the
         queue); the next advance() must fire them late, not crash."""
         env = CloudEnvironment(HotelReservation, seed=1, workload_rate=30)
-        env.driver.run_for(40.0)          # resync event at t=30 now overdue
+        legacy_run_for(env.driver, 40.0)          # resync event at t=30 now overdue
         env.advance(10.0)                 # must not raise
         assert env.clock.now == 50.0
 
@@ -167,6 +199,56 @@ class TestKernelRobustness:
         env.advance(900.0)
         assert env._resync.fired == 30
         assert env.driver.stats.requests == 0
+
+
+class TestTriggerFidelityEquivalence:
+    """Metric-triggered timeline entries must fire at the same simulated
+    time (± one scrape interval) under ``per_request`` and ``aggregate``
+    fidelity: both tiers scrape at identical timestamps, request/error
+    rates are exact counts in both, and aggregate spans never coalesce
+    past a scrape (the earliest possible watch evaluation)."""
+
+    def _fire_time(self, fidelity, seed, sustain=0.0):
+        from repro.faults import FaultSchedule, MetricAbove
+        env = CloudEnvironment(HotelReservation, seed=seed,
+                               workload_rate=60, fidelity=fidelity)
+        armed = (FaultSchedule()
+                 .inject(10.0, "RevokeAuth", ("mongodb-geo",))
+                 .when(MetricAbove("frontend", "error_rate", 2.0,
+                                   sustain_s=sustain),
+                       "PodFailure", ("recommendation",))
+                 ).arm(env)
+        env.advance(120.0)
+        fired = {d: t for t, d in armed.log}
+        env.close()
+        return fired["inject PodFailure -> ['recommendation']"]
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_metric_trigger_same_time_across_fidelities(self, seed):
+        scrape = 5.0  # the environments' scrape interval
+        t_pr = self._fire_time("per_request", seed)
+        t_ag = self._fire_time("aggregate", seed)
+        assert abs(t_pr - t_ag) <= scrape
+
+    def test_sustained_trigger_same_time_across_fidelities(self):
+        t_pr = self._fire_time("per_request", 3, sustain=15.0)
+        t_ag = self._fire_time("aggregate", 3, sustain=15.0)
+        assert t_pr >= 10.0 + 15.0  # sustain window actually enforced
+        assert abs(t_pr - t_ag) <= 5.0
+
+    def test_trigger_fires_in_fast_forwarded_idle_span(self):
+        """A pending watch must not be skipped by the idle fast-forward:
+        scrapes still run, so a metric trigger on a quiet system fires."""
+        from repro.faults import FaultSchedule, MetricBelow
+        env = CloudEnvironment(HotelReservation, seed=1,
+                               policy=ConstantRate(0.0))
+        armed = (FaultSchedule()
+                 .when(MetricBelow("frontend", "request_rate", 0.5),
+                       "NetworkLoss", ("search",))
+                 ).arm(env)
+        env.advance(100.0)
+        assert armed.log and armed.log[0][0] == 5.0  # first scrape
+        env.close()
 
 
 class TestKernelConcurrencyDeterminism:

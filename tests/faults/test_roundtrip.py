@@ -38,17 +38,17 @@ def test_fault_roundtrip(app_cls, inj_cls, fault, target):
     bundle = DeployedApp(app_cls, seed=11)
     injector = inj_cls(bundle.app)
 
-    bundle.driver.run_for(10)
+    bundle.driver.run_events(10)
     baseline_errors = bundle.driver.stats.errors
     assert baseline_errors == 0, "system must be healthy before injection"
 
     injector._inject([target], fault)
-    bundle.driver.run_for(20)
+    bundle.driver.run_events(20)
     fault_errors = bundle.driver.stats.errors - baseline_errors
     assert fault_errors > 0, f"{fault} on {target} produced no failures"
 
     injector._recover([target], fault)
     before = bundle.driver.stats.errors
-    bundle.driver.run_for(10)
+    bundle.driver.run_events(10)
     assert bundle.driver.stats.errors == before, \
         f"{fault} on {target} still failing after recovery"

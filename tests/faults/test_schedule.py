@@ -158,3 +158,133 @@ class TestArmedSchedule:
     def test_infinite_horizon_hint(self):
         assert ConstantRate(0.0).zero_until(0.0) == math.inf
         assert ConstantRate(10.0).zero_until(0.0) is None
+
+
+class TestTriggers:
+    """The trigger layer: entries fire on conditions, not just clocks."""
+
+    def test_float_coerces_to_attime(self):
+        from repro.faults import AtTime, TimelineEntry
+        e = TimelineEntry(5.0, "inject", "RevokeAuth", ("mongodb-geo",))
+        assert e.trigger == AtTime(5.0)
+        assert e.at == 5.0
+
+    def test_metric_entry_has_no_at(self):
+        from repro.faults import FaultSchedule, MetricAbove
+        s = FaultSchedule().when(MetricAbove("frontend", "error_rate", 2.0),
+                                 "RevokeAuth", ("mongodb-geo",))
+        assert s.entries[0].at is None
+        assert s.duration == 0.0  # no a-priori fire time
+
+    def test_when_rejects_set_rate(self):
+        from repro.faults import FaultSchedule, MetricAbove
+        with pytest.raises(ValueError, match="inject/recover"):
+            FaultSchedule().when(MetricAbove("f", "error_rate", 1.0),
+                                 "RevokeAuth", ("x",), kind="set_rate")
+
+    def test_trigger_validation(self):
+        from repro.faults import AfterEvent, MetricAbove
+        with pytest.raises(ValueError, match=">= 0"):
+            MetricAbove("f", "error_rate", 1.0, sustain_s=-1.0)
+        with pytest.raises(ValueError, match="tag"):
+            AfterEvent("")
+        with pytest.raises(ValueError, match=">= 0"):
+            AfterEvent("x", delay=-1.0)
+        with pytest.raises(TypeError, match="Trigger"):
+            from repro.faults import as_trigger
+            as_trigger("soon")
+
+    def test_duplicate_tag_rejected(self):
+        from repro.faults import FaultSchedule
+        s = FaultSchedule().inject(1.0, "RevokeAuth", ("a",), tag="t")
+        with pytest.raises(ValueError, match="duplicate"):
+            s.inject(2.0, "RevokeAuth", ("b",), tag="t")
+
+    def test_unknown_watch_service_rejected_at_arm(self, env):
+        """A typo'd service would otherwise never be evaluated (the
+        collector can't tell 'not scraped yet' from 'does not exist')."""
+        from repro.faults import FaultSchedule, MetricAbove
+        s = FaultSchedule().when(MetricAbove("frontned", "error_rate", 1.0),
+                                 "RevokeAuth", ("mongodb-geo",))
+        with pytest.raises(ValueError, match="unknown service"):
+            s.arm(env)
+
+    def test_unknown_watch_metric_rejected_at_arm(self, env):
+        from repro.faults import FaultSchedule, MetricAbove
+        s = FaultSchedule().when(MetricAbove("frontend", "p99", 1.0),
+                                 "RevokeAuth", ("mongodb-geo",))
+        with pytest.raises(ValueError, match="unknown metric"):
+            s.arm(env)
+
+    def test_unknown_after_tag_rejected_at_arm(self, env):
+        from repro.faults import FaultSchedule
+        s = FaultSchedule().after("ghost", "RevokeAuth", ("mongodb-geo",))
+        with pytest.raises(ValueError, match="unknown tag"):
+            s.arm(env)
+
+    def test_after_cycle_rejected_at_arm(self, env):
+        from repro.faults import FaultSchedule
+        s = (FaultSchedule()
+             .after("b", "RevokeAuth", ("mongodb-geo",), new_tag="a")
+             .after("a", "PodFailure", ("recommendation",), new_tag="b"))
+        with pytest.raises(ValueError, match="cycle"):
+            s.arm(env)
+
+    def test_metric_trigger_fires_at_scrape(self, env):
+        """Error-rate watch trips one scrape after the root fault lands."""
+        from repro.faults import FaultSchedule, MetricAbove
+        armed = (FaultSchedule()
+                 .inject(8.0, "RevokeAuth", ("mongodb-geo",))
+                 .when(MetricAbove("frontend", "error_rate", 1.0),
+                       "PodFailure", ("recommendation",))
+                 ).arm(env)
+        assert armed.pending == 2
+        assert env.queue.pending_watch_count == 1
+        env.advance(30.0)
+        times = dict((d, t) for t, d in armed.log)
+        assert times["inject PodFailure -> ['recommendation']"] == 10.0
+        assert env.queue.pending_watch_count == 0
+
+    def test_after_event_chains_off_metric_trigger(self, env):
+        """AfterEvent anchors to the upstream entry's *firing*, even when
+        that firing time was decided by a metric watch."""
+        from repro.faults import FaultSchedule, MetricAbove
+        armed = (FaultSchedule()
+                 .inject(8.0, "RevokeAuth", ("mongodb-geo",))
+                 .when(MetricAbove("frontend", "error_rate", 1.0),
+                       "PodFailure", ("recommendation",), tag="cascade")
+                 .after("cascade", "NetworkLoss", ("search",), delay=7.5)
+                 ).arm(env)
+        env.advance(40.0)
+        times = dict((d, t) for t, d in armed.log)
+        assert times["inject PodFailure -> ['recommendation']"] == 10.0
+        assert times["inject NetworkLoss -> ['search']"] == 17.5
+
+    def test_cancel_pending_cancels_watches_and_chains(self, env):
+        from repro.faults import FaultSchedule, MetricAbove
+        armed = (FaultSchedule()
+                 .inject(8.0, "RevokeAuth", ("mongodb-geo",), tag="root")
+                 .when(MetricAbove("frontend", "error_rate", 1.0),
+                       "PodFailure", ("recommendation",))
+                 .after("root", "NetworkLoss", ("search",), delay=100.0)
+                 ).arm(env)
+        env.advance(3.0)          # nothing fired yet
+        armed.cancel_pending()
+        assert armed.pending == 0
+        assert env.queue.pending_watch_count == 0
+        env.advance(60.0)
+        assert armed.log == []
+        assert env.driver.stats.errors == 0
+
+    def test_sustained_trigger_holds_out_for_window(self, env):
+        from repro.faults import FaultSchedule, MetricAbove
+        armed = (FaultSchedule()
+                 .inject(8.0, "RevokeAuth", ("mongodb-geo",))
+                 .when(MetricAbove("frontend", "error_rate", 1.0,
+                                   sustain_s=10.0),
+                       "PodFailure", ("recommendation",))
+                 ).arm(env)
+        env.advance(40.0)
+        times = dict((d, t) for t, d in armed.log)
+        # satisfied from the t=10 scrape on; 10s sustain -> fires at t=20
+        assert times["inject PodFailure -> ['recommendation']"] == 20.0

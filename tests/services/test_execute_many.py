@@ -291,3 +291,67 @@ class TestProfileCacheInvalidation:
         assert batch.error_kinds == {"connection_refused": 200}
         assert batch.error_services == {"frontend": 200}
         assert batch.latency_sum_ms == pytest.approx(200.0)
+
+
+class TestAdaptiveTailReservoir:
+    """A pending p50/p99 watch grows the batch exemplar reservoir, so a
+    tail-latency trigger's fire time converges on the per-request fire
+    time as the reservoir grows (satellite of the trigger-timeline PR)."""
+
+    THRESHOLD = 22.0   # between healthy frontend p50 and p99
+    SUSTAIN = 15.0     # three consecutive 5s scrapes
+
+    def _fire_time(self, fidelity, tail_exemplars=None, seed=3):
+        from repro.core import CloudEnvironment
+        from repro.telemetry import MetricWatch
+        env = CloudEnvironment(HotelReservation, seed=seed,
+                               workload_rate=300, fidelity=fidelity)
+        if tail_exemplars is not None:
+            env.runtime.BATCH_TRACE_EXEMPLARS_TAIL = tail_exemplars
+        watch = MetricWatch("frontend", "latency_p99_ms", self.THRESHOLD,
+                            sustain_s=self.SUSTAIN)
+        env.queue.attach_watch(watch)
+        env.collector.add_watch(watch)
+        env.driver.run_events(60.0)
+        env.close()
+        return watch.fired_at  # None if it never fired
+
+    def test_direct_execute_many_grows_exemplars_for_tail_watch(self):
+        from repro.telemetry import MetricWatch
+        d = Deployed()
+        no_watch = d.runtime.execute_many(OP, 2000)
+        assert len(no_watch.exemplars) == d.runtime.BATCH_TRACE_EXEMPLARS
+        d.collector.add_watch(MetricWatch("frontend", "latency_p99_ms", 1.0))
+        watched = d.runtime.execute_many(OP, 2000)
+        assert len(watched.exemplars) == d.runtime.BATCH_TRACE_EXEMPLARS_TAIL
+
+    def test_non_tail_watch_does_not_grow_exemplars(self):
+        from repro.telemetry import MetricWatch
+        d = Deployed()
+        d.collector.add_watch(MetricWatch("frontend", "error_rate", 1.0))
+        batch = d.runtime.execute_many(OP, 2000)
+        assert len(batch.exemplars) == d.runtime.BATCH_TRACE_EXEMPLARS
+
+    def test_unrelated_service_watch_does_not_grow_exemplars(self):
+        from repro.telemetry import MetricWatch
+        d = Deployed()
+        d.collector.add_watch(MetricWatch("not-in-this-op",
+                                          "latency_p99_ms", 1.0))
+        batch = d.runtime.execute_many(OP, 2000)
+        assert len(batch.exemplars) == d.runtime.BATCH_TRACE_EXEMPLARS
+
+    def test_fire_times_converge_with_reservoir_growth(self):
+        t_pr = self._fire_time("per_request")
+        assert t_pr == 5.0 + self.SUSTAIN  # satisfied from the first scrape
+
+        def err(fired_at):
+            return float("inf") if fired_at is None else abs(fired_at - t_pr)
+
+        errors = [err(self._fire_time("aggregate", tail_exemplars=k))
+                  for k in (2, 8, 24)]
+        # monotone convergence toward the per-request fire time...
+        assert all(e2 <= e1 for e1, e2 in zip(errors, errors[1:]))
+        # ...and the adaptive default lands within one scrape interval
+        assert errors[-1] <= 5.0
+        # while a starved reservoir visibly mis-times the trigger
+        assert errors[0] > 5.0

@@ -5,7 +5,7 @@ from repro.telemetry import TelemetryExporter
 
 class TestCollectorScrape:
     def test_scrape_records_standard_metrics(self, hotel):
-        hotel.driver.run_for(10)
+        hotel.driver.run_events(10)
         hotel.collector.scrape(hotel.cluster, hotel.app.namespace)
         store = hotel.collector.metrics
         for metric in store.STANDARD_METRICS:
@@ -13,12 +13,12 @@ class TestCollectorScrape:
 
     def test_scraped_cpu_zero_for_scaled_down_service(self, hotel):
         hotel.cluster.scale_deployment(hotel.app.namespace, "geo", 0)
-        hotel.driver.run_for(10)
+        hotel.driver.run_events(10)
         hotel.collector.scrape(hotel.cluster, hotel.app.namespace)
         assert hotel.collector.metrics.snapshot_latest("cpu_usage")["geo"] == 0.0
 
     def test_request_window_resets_between_scrapes(self, hotel):
-        hotel.driver.run_for(10)  # driver scrapes internally at t=5 and t=10
+        hotel.driver.run_events(10)  # driver scrapes internally at t=5 and t=10
         r1 = hotel.collector.metrics.snapshot_latest("request_rate")["frontend"]
         # no load between scrapes → zero rate
         hotel.clock.advance(5)
@@ -28,14 +28,14 @@ class TestCollectorScrape:
 
     def test_error_rate_reflects_faults(self, hotel):
         hotel.app.backends["mongodb-geo"].revoke_roles("admin")
-        hotel.driver.run_for(10)  # internal scrape captures the error window
+        hotel.driver.run_events(10)  # internal scrape captures the error window
         assert hotel.collector.metrics.snapshot_latest("error_rate")["geo"] > 0
 
     def test_baselines_stable_across_scrapes(self, hotel):
-        hotel.driver.run_for(6)
+        hotel.driver.run_events(6)
         hotel.collector.scrape(hotel.cluster, hotel.app.namespace)
         c1 = hotel.collector.metrics.snapshot_latest("cpu_usage")["frontend"]
-        hotel.driver.run_for(6)
+        hotel.driver.run_events(6)
         hotel.collector.scrape(hotel.cluster, hotel.app.namespace)
         c2 = hotel.collector.metrics.snapshot_latest("cpu_usage")["frontend"]
         # same baseline with small noise, not wildly different
@@ -44,7 +44,7 @@ class TestCollectorScrape:
 
 class TestExporter:
     def test_export_logs_writes_per_service_files(self, hotel, tmp_path):
-        hotel.driver.run_for(20)
+        hotel.driver.run_events(20)
         exporter = TelemetryExporter(hotel.collector, tmp_path)
         out = exporter.export_logs(hotel.app.namespace)
         assert (out / "all.jsonl").exists()
@@ -53,7 +53,7 @@ class TestExporter:
         assert lines and all("service" in json.loads(l) for l in lines[:5])
 
     def test_export_metrics_csv(self, hotel, tmp_path):
-        hotel.driver.run_for(10)
+        hotel.driver.run_events(10)
         hotel.collector.scrape(hotel.cluster, hotel.app.namespace)
         exporter = TelemetryExporter(hotel.collector, tmp_path)
         out = exporter.export_metrics()
@@ -62,7 +62,7 @@ class TestExporter:
         assert "frontend" in csv_text
 
     def test_export_traces_json(self, hotel, tmp_path):
-        hotel.driver.run_for(5)
+        hotel.driver.run_events(5)
         exporter = TelemetryExporter(hotel.collector, tmp_path)
         out = exporter.export_traces()
         payload = json.loads((out / "traces.json").read_text())
@@ -70,7 +70,7 @@ class TestExporter:
         assert "spans" in payload["data"][0]
 
     def test_export_all_creates_tree(self, hotel, tmp_path):
-        hotel.driver.run_for(5)
+        hotel.driver.run_events(5)
         hotel.collector.scrape(hotel.cluster, hotel.app.namespace)
         exporter = TelemetryExporter(hotel.collector, tmp_path)
         root = exporter.export_all(hotel.app.namespace)
@@ -79,7 +79,7 @@ class TestExporter:
         assert (root / "traces").is_dir()
 
     def test_export_since_filters(self, hotel, tmp_path):
-        hotel.driver.run_for(10)
+        hotel.driver.run_events(10)
         cutoff = hotel.clock.now
         exporter = TelemetryExporter(hotel.collector, tmp_path)
         out = exporter.export_logs(hotel.app.namespace, since=cutoff)

@@ -72,7 +72,7 @@ class TestMiner:
         """Mining the simulator's own error logs should compress heavily:
         thousands of lines but a handful of templates."""
         hotel.app.backends["mongodb-geo"].revoke_roles("admin")
-        hotel.driver.run_for(20)
+        hotel.driver.run_events(20)
         lines = [r.message for r in hotel.collector.logs.query(
             namespace=hotel.app.namespace, level="ERROR")]
         assert len(lines) > 50

@@ -1,0 +1,127 @@
+"""MetricWatch: scrape-time threshold evaluation with sustain windows."""
+
+import pytest
+
+from repro.simcore import SimClock
+from repro.telemetry import MetricWatch, TelemetryCollector
+
+
+class TestMetricWatchUnit:
+    def test_fires_on_first_satisfying_scrape(self):
+        fired = []
+        w = MetricWatch("svc", "error_rate", 2.0, callback=lambda: fired.append(1))
+        assert not w.evaluate(5.0, 1.0)
+        assert w.satisfied_since is None
+        assert w.evaluate(10.0, 3.0)
+        assert fired == [1]
+        assert w.fired_at == 10.0 and w.fired
+
+    def test_strict_comparison(self):
+        w = MetricWatch("svc", "error_rate", 2.0)
+        assert not w.evaluate(5.0, 2.0)   # above is strict
+        b = MetricWatch("svc", "error_rate", 2.0, above=False)
+        assert not b.evaluate(5.0, 2.0)   # below is strict
+        assert b.evaluate(10.0, 1.9)
+
+    def test_sustain_window_resets_on_dip(self):
+        w = MetricWatch("svc", "latency_p99_ms", 800.0, sustain_s=10.0)
+        assert not w.evaluate(5.0, 900.0)    # window opens
+        assert not w.evaluate(10.0, 900.0)   # 5s held
+        assert not w.evaluate(15.0, 700.0)   # dip resets
+        assert w.satisfied_since is None
+        assert not w.evaluate(20.0, 900.0)   # reopens
+        assert not w.evaluate(25.0, 900.0)
+        assert w.evaluate(30.0, 900.0)       # 10s sustained
+        assert w.fired_at == 30.0
+
+    def test_fires_once(self):
+        fired = []
+        w = MetricWatch("svc", "error_rate", 1.0, callback=lambda: fired.append(1))
+        assert w.evaluate(5.0, 2.0)
+        assert not w.evaluate(10.0, 2.0)
+        assert fired == [1]
+
+    def test_rearm_resets_state(self):
+        w = MetricWatch("svc", "error_rate", 1.0)
+        w.evaluate(5.0, 2.0)
+        w.rearm()
+        assert w.pending and w.satisfied_since is None and w.fired_at is None
+        assert w.evaluate(10.0, 2.0)
+
+    def test_needs_tail_only_for_percentile_metrics(self):
+        assert MetricWatch("svc", "latency_p99_ms", 1.0).needs_tail
+        assert MetricWatch("svc", "latency_p50_ms", 1.0).needs_tail
+        assert not MetricWatch("svc", "error_rate", 1.0).needs_tail
+
+    def test_negative_sustain_rejected(self):
+        with pytest.raises(ValueError, match="sustain_s"):
+            MetricWatch("svc", "error_rate", 1.0, sustain_s=-1.0)
+
+    def test_describe(self):
+        w = MetricWatch("frontend", "latency_p99_ms", 800.0, sustain_s=30.0)
+        assert w.describe() == "frontend.latency_p99_ms > 800 for 30s"
+
+
+class TestCollectorWatchEvaluation:
+    """Watches evaluate against the scrape that just recorded their series."""
+
+    def _scraped(self, hotel, watch):
+        hotel.collector.add_watch(watch)
+        return hotel
+
+    def test_watch_fires_at_scrape(self, hotel):
+        fired = []
+        w = MetricWatch("frontend", "request_rate", 10.0,
+                        callback=lambda: fired.append(hotel.clock.now))
+        hotel.collector.add_watch(w)
+        hotel.driver.run_events(10.0)   # 40 rps fixture; scrapes at 5, 10
+        assert fired == [5.0]
+        assert w not in hotel.collector._watches  # swept after firing
+
+    def test_unscraped_series_skipped(self, hotel):
+        w = MetricWatch("no-such-service", "request_rate", 0.0)
+        hotel.collector.add_watch(w)
+        hotel.driver.run_events(10.0)
+        assert w.pending  # never evaluated, never fired
+
+    def test_remove_watch(self, hotel):
+        w = MetricWatch("frontend", "request_rate", 10.0)
+        hotel.collector.add_watch(w)
+        hotel.collector.remove_watch(w)
+        hotel.driver.run_events(10.0)
+        assert w.pending
+
+    def test_pending_and_tail_views(self):
+        clock = SimClock()
+        collector = TelemetryCollector(clock, seed=0)
+        tail = MetricWatch("geo", "latency_p99_ms", 800.0)
+        rate = MetricWatch("frontend", "error_rate", 2.0)
+        collector.add_watch(tail)
+        collector.add_watch(rate)
+        assert set(collector.pending_watches()) == {tail, rate}
+        assert collector.tail_watch_services() == {"geo"}
+        tail.cancel()
+        assert collector.tail_watch_services() == frozenset()
+
+    def test_rearm_survives_post_fire_sweep(self, hotel):
+        """rearm() must re-register with the collector (which sweeps
+        resolved watches) so a repeating trigger can trip again."""
+        fired = []
+        w = MetricWatch("frontend", "request_rate", 10.0,
+                        callback=lambda: fired.append(hotel.clock.now))
+        hotel.collector.add_watch(w)
+        hotel.driver.run_events(6.0)     # fires at the t=5 scrape
+        assert fired == [5.0]
+        w.rearm()
+        assert w in hotel.collector._watches
+        hotel.driver.run_events(6.0)     # fires again at t=10
+        assert fired == [5.0, 10.0]
+
+    def test_callback_order_is_registration_order(self, hotel):
+        fired = []
+        for name in ("a", "b"):
+            hotel.collector.add_watch(MetricWatch(
+                "frontend", "request_rate", 10.0,
+                callback=lambda n=name: fired.append(n)))
+        hotel.driver.run_events(6.0)
+        assert fired == ["a", "b"]

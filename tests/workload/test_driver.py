@@ -8,60 +8,60 @@ from repro.workload import BurstRate, ConstantRate, DiurnalRate, \
 
 class TestWorkloadDriver:
     def test_issues_rate_times_duration(self, hotel):
-        stats = hotel.driver.run_for(10)  # 40 rps fixture
+        stats = hotel.driver.run_events(10)  # 40 rps fixture
         assert stats.requests == 400
 
     def test_fractional_rates_accumulate(self, hotel):
         driver = WorkloadDriver(hotel.runtime, hotel.app.workload_mix(),
                                 ConstantRate(0.5), seed=1)
-        stats = driver.run_for(10)
+        stats = driver.run_events(10)
         assert stats.requests == 5
 
     def test_clock_advances_exactly(self, hotel):
         t0 = hotel.clock.now
-        hotel.driver.run_for(12.5)
+        hotel.driver.run_events(12.5)
         assert hotel.clock.now == pytest.approx(t0 + 12.5)
 
     def test_mix_respected_roughly(self, hotel):
-        hotel.driver.run_for(30)
+        hotel.driver.run_events(30)
         per_op = hotel.driver.stats.per_operation
         # search_hotel weighted 0.6 should dominate
         assert per_op["search_hotel"] > per_op.get("login", 0)
 
     def test_zero_seconds_noop(self, hotel):
-        stats = hotel.driver.run_for(0)
+        stats = hotel.driver.run_events(0)
         assert stats.requests == 0
 
     def test_negative_rejected(self, hotel):
         with pytest.raises(ValueError):
-            hotel.driver.run_for(-1)
+            hotel.driver.run_events(-1)
 
     def test_empty_mix_rejected(self, hotel):
         with pytest.raises(ValueError):
             WorkloadDriver(hotel.runtime, {}, ConstantRate(1))
 
     def test_scrape_happens_during_run(self, hotel):
-        hotel.driver.run_for(12)  # default scrape interval 5s
+        hotel.driver.run_events(12)  # default scrape interval 5s
         assert hotel.collector.metrics.series("frontend", "cpu_usage")
 
     def test_per_tick_cap_bounds_volume(self, hotel):
         driver = WorkloadDriver(hotel.runtime, hotel.app.workload_mix(),
                                 ConstantRate(10_000), seed=1,
                                 max_requests_per_tick=50)
-        stats = driver.run_for(2)
+        stats = driver.run_events(2)
         assert stats.requests <= 100
 
     def test_error_rate_property(self, hotel):
         hotel.app.backends["mongodb-geo"].revoke_roles("admin")
-        hotel.driver.run_for(10)
+        hotel.driver.run_events(10)
         assert 0 < hotel.driver.stats.error_rate < 1
 
     def test_mean_latency(self, hotel):
-        hotel.driver.run_for(5)
+        hotel.driver.run_events(5)
         assert hotel.driver.stats.mean_latency_ms > 0
 
     def test_recent_results_bounded(self, hotel):
-        hotel.driver.run_for(30)
+        hotel.driver.run_events(30)
         assert len(hotel.driver.recent_results) <= 500
 
 

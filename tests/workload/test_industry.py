@@ -53,5 +53,5 @@ class TestIncidentRamp:
         """An industry trace must plug straight into the driver."""
         driver = WorkloadDriver(hotel.runtime, hotel.app.workload_mix(),
                                 incident_ramp(base=10.0), seed=1)
-        stats = driver.run_for(30)
+        stats = driver.run_events(30)
         assert stats.requests > 0

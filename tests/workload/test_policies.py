@@ -122,9 +122,43 @@ class TestNextChangeHints:
         assert policy.next_change(50.0) == 80.0
         assert policy.next_change(80.0) == math.inf
 
-    def test_diurnal_is_continuous_no_hint(self):
-        assert getattr(DiurnalRate(), "next_change", None) is None \
-            or DiurnalRate().next_change(0.0) is None
+    def test_diurnal_next_change_is_segment_grid(self):
+        """DiurnalRate approximates the sinusoid piecewise-linearly on a
+        grid of ``segments`` knots per period; next_change announces the
+        next knot strictly after t (so spans never straddle one)."""
+        policy = DiurnalRate(base=100, amplitude=0.5, period=960.0,
+                             segments=96)
+        h = 960.0 / 96
+        assert policy.next_change(0.0) == h
+        assert policy.next_change(h) == 2 * h  # strictly after a knot
+        assert policy.next_change(h + 0.1) == 2 * h
+
+    def test_diurnal_span_rate_chord_error_bound(self):
+        """The chord average over a segment is within the documented
+        bound, base·|A|·(2π/segments)²/8, of the true mean rate."""
+        policy = DiurnalRate(base=100, amplitude=0.8, period=960.0,
+                             segments=96)
+        bound = 100 * 0.8 * (2 * math.pi / 96) ** 2 / 8
+        h = 960.0 / 96
+        for k in range(96):
+            t0, t1 = k * h, (k + 1) * h
+            true_mean = sum(policy.rate(t0 + (i + 0.5) * h / 50)
+                            for i in range(50)) / 50
+            assert abs(policy.span_rate(t0, t1) - true_mean) <= bound + 1e-9
+
+    def test_diurnal_segments_validated(self):
+        with pytest.raises(ValueError, match="segments"):
+            DiurnalRate(segments=0)
+
+    def test_diurnal_span_rate_interpolates_within_segment(self):
+        policy = DiurnalRate(base=100, amplitude=0.5, period=960.0,
+                             segments=96)
+        h = 960.0 / 96
+        # at a knot the chord equals the true rate
+        assert policy.span_rate(h, h) == pytest.approx(policy.rate(h))
+        # a sub-span's average lies between the segment endpoint rates
+        lo, hi = sorted((policy.rate(3 * h), policy.rate(4 * h)))
+        assert lo - 1e-9 <= policy.span_rate(3 * h, 4 * h) <= hi + 1e-9
 
 
 class TestBurstRate:
