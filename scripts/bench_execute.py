@@ -8,10 +8,15 @@ HotelReservation ``search_hotel`` operation per measurement, healthy and
 with partial network loss (stochastic branching — the profile's worst
 case), at n ∈ {1e3, 1e4, 1e5}.
 
-Results are appended to ``BENCH_kernel.json`` under ``execute_many`` and
-as a ``trajectory`` entry so per-PR history accumulates.  Exits non-zero
-if ``execute_many`` is not ≥10× faster than the per-request loop at
-n=10k — the acceptance floor for the aggregate tier.
+It also measures multi-app co-hosting overhead: one two-app
+environment vs two separate single-app environments at the same total
+offered rate (the shared event queue should cost ~nothing).
+
+Results are appended to ``BENCH_kernel.json`` under ``execute_many`` /
+``multi_app`` and as a ``trajectory`` entry so per-change history
+accumulates.  Exits non-zero if ``execute_many`` is not ≥10× faster than
+the per-request loop at n=10k — the acceptance floor for the aggregate
+tier.
 
 Usage::
 
@@ -26,7 +31,8 @@ import platform
 import time
 from pathlib import Path
 
-from repro.apps import HotelReservation
+from repro.apps import HotelReservation, SocialNetwork
+from repro.core.env import AppSpec, CloudEnvironment
 from repro.kubesim import Cluster
 from repro.simcore import SimClock
 from repro.telemetry import TelemetryCollector
@@ -108,6 +114,50 @@ def bench_tail_reservoir(n: int = 10_000, repeats: int = 3) -> dict:
     return result
 
 
+def bench_multi_app(seconds: float = 300.0, rps: float = 500.0,
+                    repeats: int = 3) -> dict:
+    """Co-hosting overhead: advance one 2-app environment vs two separate
+    single-app environments for the same virtual window at the same total
+    offered rate (rps per app), on the aggregate tier.  ``overhead_x``
+    near 1.0 means the shared queue/collector cost is negligible."""
+    multi = separate = float("inf")
+    for _ in range(repeats):
+        env = CloudEnvironment([
+            AppSpec(HotelReservation, workload_rate=rps),
+            AppSpec(SocialNetwork, workload_rate=rps),
+        ], seed=0, fidelity="aggregate")
+        t0 = time.perf_counter()
+        env.advance(seconds)
+        multi = min(multi, time.perf_counter() - t0)
+        served_multi = sum(d.stats.requests for d in env.drivers)
+        env.close()
+
+        envs = [CloudEnvironment(HotelReservation, seed=0, workload_rate=rps,
+                                 fidelity="aggregate"),
+                CloudEnvironment(SocialNetwork, seed=0, workload_rate=rps,
+                                 fidelity="aggregate")]
+        t0 = time.perf_counter()
+        for e in envs:
+            e.advance(seconds)
+        separate = min(separate, time.perf_counter() - t0)
+        served_separate = sum(e.driver.stats.requests for e in envs)
+        for e in envs:
+            e.close()
+    result = {
+        "virtual_seconds": seconds,
+        "rps_per_app": rps,
+        "requests_multi": served_multi,
+        "requests_separate": served_separate,
+        "multi_env_s": round(multi, 6),
+        "separate_envs_s": round(separate, 6),
+        "overhead_x": round(multi / separate, 3),
+    }
+    print(f"multi-app: {seconds:g} virtual s at 2x{rps:g} rps  "
+          f"2-app env {multi:.4f}s  2 separate envs {separate:.4f}s  "
+          f"x{multi / separate:.2f}")
+    return result
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_kernel.json",
@@ -122,6 +172,8 @@ def main() -> None:
         "network_loss": [bench_n(n, loss=0.2) for n in sizes],
     }
     tail = bench_tail_reservoir(repeats=1 if args.quick else 3)
+    multi = bench_multi_app(seconds=120.0 if args.quick else 300.0,
+                            repeats=1 if args.quick else 3)
 
     out = Path(args.out)
     try:
@@ -138,16 +190,19 @@ def main() -> None:
     floor_points = [r for r in results["healthy"] + results["network_loss"]
                     if r["n"] == FLOOR_AT_N]
     entry = {
-        "entry": "trigger_timelines",
-        "description": "batched execution under the trigger layer: "
-                       "execute_many speedup with adaptive tail-reservoir "
-                       "overhead (pending p99 watch grows exemplars 2 -> 24)",
+        "entry": "multi_app",
+        "description": "multi-app environments: execute_many speedup "
+                       "unchanged, plus co-hosting overhead (one 2-app "
+                       "environment vs two single-app environments at the "
+                       "same total rps, aggregate tier)",
         "speedup_at_10k": min(r["speedup"] for r in floor_points),
         "best_speedup": max(r["speedup"]
                             for rs in results.values() for r in rs),
         "tail_reservoir_overhead_x": tail["overhead_x"],
+        "multi_app_overhead_x": multi["overhead_x"],
     }
     payload["tail_reservoir"] = tail
+    payload["multi_app"] = multi
     payload.setdefault("trajectory", []).append(entry)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")

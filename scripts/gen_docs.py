@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Generate the checked-in docs that mirror code-owned registries.
+
+Two files are generated (and committed, so readers need no tooling):
+
+* ``docs/api/actions.md`` — the Agent-Cloud Interface reference, rendered
+  from the ``@action`` registry exactly as sessions render it for agents
+  (``registry_for(task).render_docs()`` per task type);
+* ``docs/scenarios.md`` — the scenario-problem catalog behind
+  ``repro.problems.scenario_pids()``: pid, hosted app(s), fidelity/rate,
+  trigger kinds and the full fault timeline per scenario.
+
+``--check`` regenerates in memory and exits non-zero if the committed
+files are stale — the CI ``docs-check`` step runs exactly that, so the
+docs can never drift from the registries they document.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_docs.py [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+from repro.core.aci import registry_for  # noqa: E402
+from repro.core.problem import Problem  # noqa: E402
+from repro.faults.triggers import (  # noqa: E402
+    AfterEvent,
+    AtTime,
+    MetricTrigger,
+)
+from repro.problems.scenarios import (  # noqa: E402
+    MultiAppScheduledProblem,
+    SCENARIO_FACTORIES,
+    ScheduledFaultProblem,
+)
+
+#: task surfaces rendered in the API reference, in presentation order
+TASKS = ("detection", "localization", "analysis", "mitigation")
+
+GENERATED_BANNER = (
+    "<!-- GENERATED FILE — do not edit by hand.\n"
+    "     Regenerate with: PYTHONPATH=src python scripts/gen_docs.py\n"
+    "     CI's docs-check step fails when this file is stale. -->\n")
+
+
+def render_actions_md() -> str:
+    """The ACI reference, one section per task-type action surface."""
+    out = [
+        GENERATED_BANNER,
+        "# Agent-Cloud Interface — action reference",
+        "",
+        "Every session shares these docs with the agent as the API part of",
+        "its context `C` (auto-rendered from the `@action` registry by",
+        "`registry_for(task).render_docs()`).  Actions marked for specific",
+        "task types only appear on those tasks' surfaces.",
+        "",
+    ]
+    for task in TASKS:
+        registry = registry_for(task)
+        names = ", ".join(f"`{n}`" for n in registry.names())
+        out.append(f"## {task} surface")
+        out.append("")
+        out.append(f"Actions: {names}")
+        out.append("")
+        out.append("```text")
+        out.append(registry.render_docs())
+        out.append("```")
+        out.append("")
+    return "\n".join(out)
+
+
+def _trigger_kind(trigger) -> str:
+    if isinstance(trigger, AtTime):
+        return "time"
+    if isinstance(trigger, MetricTrigger):
+        return "metric"
+    if isinstance(trigger, AfterEvent):
+        return "chained"
+    return type(trigger).__name__
+
+
+def _scenario_rows() -> list[dict]:
+    rows = []
+    for pid, factory in SCENARIO_FACTORIES.items():
+        prob: Problem = factory()
+        if isinstance(prob, MultiAppScheduledProblem):
+            specs = prob.app_specs()
+            apps = " + ".join(s.app_cls.__name__ for s in specs)
+        else:
+            apps = prob.app_name
+        schedule = prob.build_schedule() \
+            if isinstance(prob, ScheduledFaultProblem) else None
+        kinds: list[str] = []
+        timeline: list[str] = []
+        if schedule is not None:
+            for entry in schedule.entries:
+                kind = _trigger_kind(entry.trigger)
+                if entry.repeat != 1:
+                    kind = "repeating"
+                if kind not in kinds:
+                    kinds.append(kind)
+                times = "" if entry.repeat == 1 else (
+                    " ×∞" if entry.repeat == 0 else f" ×{entry.repeat}")
+                timeline.append(
+                    f"{entry.trigger.describe()}{times}: {entry.describe()}")
+        rows.append({
+            "pid": pid,
+            "task": prob.task_type,
+            "apps": apps,
+            "fidelity": prob.fidelity,
+            "rate": prob.workload_rate,
+            "kinds": "/".join(kinds) or "—",
+            "timeline": timeline,
+        })
+    return rows
+
+
+def render_scenarios_md() -> str:
+    """The scenario catalog: summary table plus per-scenario timelines."""
+    rows = _scenario_rows()
+    out = [
+        GENERATED_BANNER,
+        "# Scenario catalog",
+        "",
+        "Scheduled-fault scenario problems registered behind",
+        "`repro.problems.scenario_pids()` — additive to (and excluded",
+        "from) the paper-faithful 48-problem benchmark.  Each runs",
+        "end-to-end via `Orchestrator.create_session(pid)`.",
+        "",
+        "| pid | task | app(s) | fidelity | rate (rps) | trigger kinds |",
+        "|---|---|---|---|---|---|",
+    ]
+    for r in rows:
+        out.append(
+            f"| `{r['pid']}` | {r['task']} | {r['apps']} | {r['fidelity']} "
+            f"| {r['rate']:g} | {r['kinds']} |")
+    out.append("")
+    out.append("## Timelines")
+    out.append("")
+    out.append("Entries as armed (arm time = end of the 30 s warmup);")
+    out.append("`@namespace` marks the app an entry acts on, `×∞`/`×N` a")
+    out.append("repeating (re-arming) metric entry.")
+    out.append("")
+    for r in rows:
+        out.append(f"### `{r['pid']}`")
+        out.append("")
+        if r["timeline"]:
+            out.extend(f"- {line}" for line in r["timeline"])
+        else:
+            out.append("- (no scheduled timeline)")
+        out.append("")
+    return "\n".join(out)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="verify the committed files are current "
+                             "instead of writing them")
+    args = parser.parse_args()
+
+    targets = {
+        REPO / "docs" / "api" / "actions.md": render_actions_md(),
+        REPO / "docs" / "scenarios.md": render_scenarios_md(),
+    }
+    stale = []
+    for path, content in targets.items():
+        if args.check:
+            on_disk = path.read_text() if path.exists() else None
+            if on_disk != content:
+                stale.append(path)
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+            print(f"wrote {path.relative_to(REPO)}")
+    if stale:
+        names = ", ".join(str(p.relative_to(REPO)) for p in stale)
+        raise SystemExit(
+            f"stale generated docs: {names}\n"
+            f"run: PYTHONPATH=src python scripts/gen_docs.py")
+    if args.check:
+        print("generated docs are current")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Render ``BENCH_kernel.json``'s per-PR ``trajectory`` list to an SVG.
 
-Each trajectory entry is one PR's hot-path measurement (appended by
+Each trajectory entry is one change's hot-path measurement (appended by
 ``scripts/bench_execute.py``).  This plots ``speedup_at_10k`` and
-``best_speedup`` per entry on a log scale — a tiny, dependency-free
-hand-rolled SVG so the CI ``kernel-bench`` job can publish the perf
-trajectory as an artifact next to the raw JSON.
+``best_speedup`` per entry on a log scale, plus ``multi_app_overhead_x``
+(2-app environment vs two separate environments, ~1.0 is ideal) for
+entries that measure it — a tiny, dependency-free hand-rolled SVG so the
+CI ``kernel-bench`` job can publish the perf trajectory as an artifact
+next to the raw JSON.
 
 Usage::
 
@@ -21,7 +23,8 @@ from pathlib import Path
 
 WIDTH, HEIGHT = 640, 360
 MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 20, 40, 70
-SERIES = (("speedup_at_10k", "#2563eb"), ("best_speedup", "#d97706"))
+SERIES = (("speedup_at_10k", "#2563eb"), ("best_speedup", "#d97706"),
+          ("multi_app_overhead_x", "#059669"))
 
 
 def _points(entries: list[dict], key: str) -> list[tuple[int, float]]:

@@ -29,11 +29,12 @@ The seed's ``init_problem`` → ``register_agent`` → ``start_problem`` flow
 still works as a thin shim over one implicit session and is deprecated.
 """
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 from repro.core import (
     ActionRegistry,
     AnalysisTask,
+    AppSpec,
     CloudEnvironment,
     DetectionTask,
     IncidentLifecycle,
@@ -68,6 +69,7 @@ __all__ = [
     "__version__",
     "ActionRegistry",
     "AnalysisTask",
+    "AppSpec",
     "CloudEnvironment",
     "DetectionTask",
     "IncidentLifecycle",

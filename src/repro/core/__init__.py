@@ -18,7 +18,7 @@
   spec-ordered results.
 """
 
-from repro.core.env import CloudEnvironment, EnvSpec, FIDELITY_TIERS
+from repro.core.env import AppSpec, CloudEnvironment, EnvSpec, FIDELITY_TIERS
 from repro.core.actions import ActionRegistry, ActionSpec, Observation, action
 from repro.core.aci import TaskActions, extract_api_docs, registry_for
 from repro.core.problem import (
@@ -53,6 +53,7 @@ __all__ = [
     "load_session",
     "save_all",
     "save_session",
+    "AppSpec",
     "CloudEnvironment",
     "EnvSpec",
     "FIDELITY_TIERS",

@@ -81,7 +81,8 @@ class TaskActions:
                 f"Saved logs to {path}. ERROR lines per service:\n{summary}",
                 artifacts=(str(path),),
                 payload={"namespace": ns, "error_counts": dict(counts)})
-        known = self.env.collector.logs.services_seen(ns) | set(self.env.app.services)
+        app = self.env.app_for(ns, fallback=self.env.app)
+        known = self.env.collector.logs.services_seen(ns) | set(app.services)
         if service not in known:
             return Observation.error(
                 f"Error: Your service/namespace does not exist: {service}",
@@ -106,32 +107,42 @@ class TaskActions:
         monitoring stack for the last `duration` minutes.
 
         Args:
-            namespace (str): The K8S namespace.
+            namespace (str): The K8S namespace, or "all" for a snapshot
+                spanning every hosted application's namespace.
             duration (int): Minutes of history to export.
         Returns:
             str: Path where metrics are saved, plus a per-service snapshot.
         """
+        spanning = namespace in ("all", "*")
         ns = namespace or self.env.namespace
-        if ns not in self.env.cluster.namespaces:
+        if not spanning and ns not in self.env.cluster.namespaces:
             return Observation.error(
                 f"Error: Your service/namespace does not exist: {ns}",
                 namespace=ns)
         since = max(self.env.clock.now - duration * 60.0, 0.0)
         path = self.env.exporter.export_metrics(since=since)
-        store = self.env.collector.metrics
+        collector = self.env.collector
+        store = collector.metrics
         lines = []
         err = store.snapshot_latest("error_rate")
         cpu = store.snapshot_latest("cpu_usage")
         rate = store.snapshot_latest("request_rate")
         snapshot = {}
         for svc in sorted(set(err) | set(cpu)):
-            snapshot[svc] = {
+            # metric keys are namespace-qualified for non-primary apps;
+            # a scoped view keeps only the requested namespace's services
+            # (shown bare), a spanning view keeps the qualified names
+            svc_ns, bare = collector.split(svc)
+            if not spanning and svc_ns != ns:
+                continue
+            shown = svc if spanning else bare
+            snapshot[shown] = {
                 "cpu_m": cpu.get(svc, 0),
                 "request_rate": rate.get(svc, 0),
                 "error_rate": err.get(svc, 0),
             }
             lines.append(
-                f"  {svc}: cpu={cpu.get(svc, 0):.0f}m "
+                f"  {shown}: cpu={cpu.get(svc, 0):.0f}m "
                 f"req_rate={rate.get(svc, 0):.1f}/s "
                 f"err_rate={err.get(svc, 0):.2f}/s"
             )

@@ -1,4 +1,4 @@
-"""One problem's operational environment: app + cluster + telemetry + load.
+"""One problem's operational environment: app(s) + cluster + telemetry + load.
 
 The environment is built around a discrete-event kernel: one
 :class:`~repro.simcore.events.EventQueue` on the shared
@@ -6,6 +6,24 @@ The environment is built around a discrete-event kernel: one
 scrapes, periodic controller resync and any scheduled fault timelines.
 ``advance(s)`` runs the queue to ``now + s``, so virtual time jumps from
 event to event instead of being ticked through.
+
+One environment may host **several applications** — each in its own
+namespace on the shared cluster, each with its own
+:class:`~repro.workload.WorkloadDriver` interleaving arrivals on the one
+queue::
+
+    env = CloudEnvironment([
+        AppSpec(HotelReservation, workload_rate=60.0),
+        AppSpec(SocialNetwork, policy=BurstRate(base=40.0)),
+    ], seed=7)
+
+Everything shares one clock, queue and telemetry collector, which is what
+makes *cross-app* behavior expressible: a metric watch on app A's
+telemetry can fire a fault into app B, a load storm on one app is visible
+to triggers watching the other, and kubectl spans both namespaces.  The
+single-app constructor (``CloudEnvironment(HotelReservation, ...)``)
+remains a thin wrapper over a one-element spec list and is bit-identical
+to the historical single-app environment.
 """
 
 from __future__ import annotations
@@ -14,7 +32,7 @@ import shutil
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Type
+from typing import Optional, Sequence, Type, Union
 
 from repro.apps.base import App
 from repro.kubesim import Cluster, Helm, Kubectl
@@ -22,13 +40,41 @@ from repro.simcore import EventQueue, SimClock
 from repro.telemetry import TelemetryCollector, TelemetryExporter
 from repro.workload import ConstantRate, RatePolicy, WorkloadDriver
 
-#: request-execution fidelity tiers (see DESIGN.md): ``per_request``
-#: walks the call graph once per request (bit-identical to the seed,
-#: the benchmark default); ``aggregate`` samples batched outcomes from
-#: compiled path profiles (statistically equivalent, built for
-#: "millions of users" rates).  The driver's mode tuple is the single
-#: source of truth; this is its environment-level name.
+#: request-execution fidelity tiers (see docs/design/fidelity.md):
+#: ``per_request`` walks the call graph once per request (bit-identical
+#: to the reference implementation, the benchmark default);
+#: ``aggregate`` samples batched outcomes from compiled path profiles
+#: (statistically equivalent, built for "millions of users" rates).  The
+#: driver's mode tuple is the single source of truth; this is its
+#: environment-level name.
 FIDELITY_TIERS = WorkloadDriver.MODES
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One application hosted by a :class:`CloudEnvironment`.
+
+    ``policy`` wins over ``workload_rate`` when both are given (the rate
+    is only used to build the default :class:`ConstantRate`); ``fidelity``
+    overrides the environment-level tier for this app's driver — e.g. an
+    aggregate-tier load-generator neighbor next to a per-request app under
+    test.
+    """
+
+    app_cls: Type[App]
+    policy: Optional[RatePolicy] = None
+    workload_rate: float = 60.0
+    fidelity: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.fidelity is not None and self.fidelity not in FIDELITY_TIERS:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITY_TIERS}, "
+                f"got {self.fidelity!r}")
+
+    def build_policy(self) -> RatePolicy:
+        return self.policy if self.policy is not None \
+            else ConstantRate(self.workload_rate)
 
 
 @dataclass(frozen=True)
@@ -38,6 +84,8 @@ class EnvSpec:
 
     ``fidelity`` selects the execution tier; everything else mirrors the
     corresponding :class:`CloudEnvironment` constructor parameter.
+    Single-app by construction; multi-app problems pass a list of
+    :class:`AppSpec` to :class:`CloudEnvironment` directly.
     """
 
     seed: int = 0
@@ -55,7 +103,8 @@ class EnvSpec:
 
 
 class CloudEnvironment:
-    """Deploys an application and wires every subsystem to one virtual clock.
+    """Deploys one or more applications and wires every subsystem to one
+    virtual clock.
 
     This is the ``E`` part of the problem context ``C = ⟨E, I⟩`` — the
     service, fault and workload conditions the problem occurs under; it is
@@ -63,6 +112,15 @@ class CloudEnvironment:
 
     Parameters
     ----------
+    apps:
+        Either an :class:`~repro.apps.base.App` subclass (the single-app
+        form — ``workload_rate``/``policy`` configure its driver exactly
+        as they always have) or a sequence of :class:`AppSpec`, one per
+        hosted application.  Apps deploy in order into their own
+        namespaces on the shared cluster; the first app is the
+        environment's *primary* app — ``env.app`` / ``env.driver`` /
+        ``env.namespace`` keep pointing at it, and its metric names stay
+        unqualified in the telemetry collector.
     resync_interval:
         Period (virtual seconds) of the controller-resync event that
         re-runs the cluster's reconciling controllers, like the real
@@ -73,7 +131,7 @@ class CloudEnvironment:
 
     def __init__(
         self,
-        app_cls: Type[App],
+        apps: Union[Type[App], Sequence[AppSpec]],
         seed: int = 0,
         workload_rate: float = 60.0,
         policy: Optional[RatePolicy] = None,
@@ -84,29 +142,68 @@ class CloudEnvironment:
         if fidelity not in FIDELITY_TIERS:
             raise ValueError(
                 f"fidelity must be one of {FIDELITY_TIERS}, got {fidelity!r}")
+        if isinstance(apps, type) and issubclass(apps, App):
+            specs = [AppSpec(apps, policy=policy, workload_rate=workload_rate)]
+        else:
+            if policy is not None or workload_rate != 60.0:
+                raise ValueError(
+                    "workload_rate/policy configure the single-app form "
+                    "only; with a spec list, set them per app on each "
+                    "AppSpec")
+            specs = list(apps)
+            if not specs:
+                raise ValueError("CloudEnvironment needs at least one AppSpec")
+            if not all(isinstance(s, AppSpec) for s in specs):
+                raise TypeError(
+                    "apps must be an App subclass or a sequence of AppSpec")
+        namespaces = [s.app_cls.namespace for s in specs]
+        if len(set(namespaces)) != len(namespaces):
+            raise ValueError(
+                f"hosted apps must live in distinct namespaces, "
+                f"got {namespaces}")
+        self.app_specs: list[AppSpec] = specs
         self.seed = seed
         self.fidelity = fidelity
         self.clock = SimClock()
         self.queue = EventQueue(self.clock)
         self.cluster = Cluster(clock=self.clock, seed=seed)
         self.collector = TelemetryCollector(self.clock, seed=seed)
+        # the first app's namespace keeps bare metric names (single-app
+        # telemetry stays bit-identical); other namespaces are qualified
+        self.collector.default_namespace = namespaces[0]
         self.helm = Helm(self.cluster)
-        self.app: App = app_cls()
-        self.runtime = self.app.deploy(
-            self.cluster, self.collector, helm=self.helm, seed=seed
-        )
-        self.driver = WorkloadDriver(
-            self.runtime,
-            self.app.workload_mix(),
-            policy or ConstantRate(workload_rate),
-            seed=seed,
-            queue=self.queue,
-            mode=fidelity,
-        )
+        self.apps: list[App] = []
+        self.drivers: list[WorkloadDriver] = []
+        self._apps_by_ns: dict[str, App] = {}
+        self._drivers_by_ns: dict[str, WorkloadDriver] = {}
+        for i, spec in enumerate(specs):
+            app = spec.app_cls()
+            runtime = app.deploy(
+                self.cluster, self.collector, helm=self.helm, seed=seed
+            )
+            driver = WorkloadDriver(
+                runtime,
+                app.workload_mix(),
+                spec.build_policy(),
+                seed=seed,
+                queue=self.queue,
+                mode=spec.fidelity or fidelity,
+                # the first app keeps the historical stream name, so the
+                # single-app wrapper draws bit-identical arrival sequences
+                rng_stream="workload" if i == 0
+                else f"workload/{app.namespace}",
+            )
+            self.apps.append(app)
+            self.drivers.append(driver)
+            self._apps_by_ns[app.namespace] = app
+            self._drivers_by_ns[app.namespace] = driver
+        self.app: App = self.apps[0]
+        self.runtime = self.app.runtime
+        self.driver = self.drivers[0]
         self.kubectl = Kubectl(
             self.cluster,
             log_source=self.collector.kubectl_log_source,
-            exec_handler=self.app.exec_handler,
+            exec_handler=self._exec_dispatch,
             metrics_source=self.collector.kubectl_metrics_source(self.cluster),
         )
         self._owns_export_root = export_root is None
@@ -122,7 +219,7 @@ class CloudEnvironment:
 
     @classmethod
     def from_spec(cls, app_cls: Type[App], spec: EnvSpec) -> "CloudEnvironment":
-        """Build an environment from a declarative :class:`EnvSpec`."""
+        """Build a single-app environment from a declarative :class:`EnvSpec`."""
         return cls(
             app_cls,
             seed=spec.seed,
@@ -133,23 +230,82 @@ class CloudEnvironment:
             fidelity=spec.fidelity,
         )
 
+    # ------------------------------------------------------------------
+    # multi-app accessors
+    # ------------------------------------------------------------------
     @property
     def namespace(self) -> str:
+        """The primary (first) app's namespace."""
         return self.app.namespace
 
-    def advance(self, seconds: float) -> None:
-        """Let the environment live for ``seconds`` of virtual time: the
-        workload, scrapes, controller resync and any scheduled fault
-        timeline all fire as events on the queue."""
-        self.driver.run_events(seconds)
+    @property
+    def namespaces(self) -> list[str]:
+        """Every hosted app's namespace, in deployment order."""
+        return [a.namespace for a in self.apps]
 
-    def probe_error_rate(self, seconds: float = 10.0) -> float:
-        """Run load for a window and return the fraction of failed requests."""
-        before_req = self.driver.stats.requests
-        before_err = self.driver.stats.errors
+    def app_for(self, namespace: str,
+                fallback: Optional[App] = None) -> App:
+        """The app deployed in ``namespace``.
+
+        Raises ``KeyError`` for an unhosted namespace unless ``fallback``
+        is given — the get-or-primary rule the exec dispatcher and the
+        ACI share.
+        """
+        app = self._apps_by_ns.get(namespace)
+        if app is not None:
+            return app
+        if fallback is not None:
+            return fallback
+        raise KeyError(
+            f"no app in namespace {namespace!r}; hosted: "
+            f"{self.namespaces}")
+
+    def driver_for(self, namespace: str) -> WorkloadDriver:
+        """The workload driver for the app in ``namespace``."""
+        try:
+            return self._drivers_by_ns[namespace]
+        except KeyError:
+            raise KeyError(
+                f"no driver for namespace {namespace!r}; hosted: "
+                f"{self.namespaces}") from None
+
+    def _exec_dispatch(self, namespace: str, pod: str,
+                       argv: list[str]) -> str:
+        """Route ``kubectl exec`` to the app that owns ``namespace``.
+
+        Unknown namespaces fall through to the primary app's handler,
+        which produces the historical not-managed-by error text.
+        """
+        app = self.app_for(namespace, fallback=self.app)
+        return app.exec_handler(namespace, pod, argv)
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    def advance(self, seconds: float) -> None:
+        """Let the environment live for ``seconds`` of virtual time: every
+        app's workload, scrapes, controller resync and any scheduled fault
+        timeline all fire as events on the one queue."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        end = self.clock.now + seconds
+        for driver in self.drivers:
+            driver.begin_window(end)
+        self.queue.run_until(end)
+
+    def probe_error_rate(self, seconds: float = 10.0,
+                         namespace: Optional[str] = None) -> float:
+        """Run load for a window and return the fraction of failed requests.
+
+        Aggregated across every hosted app by default; pass ``namespace``
+        to probe one app's traffic only.
+        """
+        drivers = [self.driver_for(namespace)] if namespace is not None \
+            else self.drivers
+        before = [(d.stats.requests, d.stats.errors) for d in drivers]
         self.advance(seconds)
-        n = self.driver.stats.requests - before_req
-        e = self.driver.stats.errors - before_err
+        n = sum(d.stats.requests - b[0] for d, b in zip(drivers, before))
+        e = sum(d.stats.errors - b[1] for d, b in zip(drivers, before))
         return e / n if n else 0.0
 
     def close(self) -> None:

@@ -16,24 +16,27 @@ def system_healthy(env: "CloudEnvironment",
                    max_error_rate: float = 0.02) -> tuple[bool, str]:
     """Check the *general state of the entire system* (§2.1).
 
-    Healthy means every deployment has its desired replicas ready (and at
-    least one), no pod is Pending/CrashLooping, and a fresh probe workload
-    completes with an error rate under ``max_error_rate``.
+    Healthy means every deployment — in **every** hosted app's namespace —
+    has its desired replicas ready (and at least one), no pod is
+    Pending/CrashLooping, and a fresh probe workload (aggregated across
+    all hosted apps' drivers) completes with an error rate under
+    ``max_error_rate``.  Single-app environments behave exactly as
+    before; multi-app mitigation is graded on the whole environment.
     """
-    ns = env.namespace
-    for dep in env.cluster.deployments_in(ns):
-        pods = env.cluster.pods_for_deployment(dep)
-        ready = [p for p in pods if p.ready and not p.crash_looping]
-        if dep.replicas < 1:
-            return False, f"deployment {dep.name} scaled to zero"
-        if len(ready) < dep.replicas:
-            return False, (f"deployment {dep.name}: {len(ready)}/{dep.replicas} "
-                           f"replicas ready")
-    for pod in env.cluster.pods_in(ns):
-        if pod.crash_looping:
-            return False, f"pod {pod.name} is crash-looping"
-        if pod.phase.value == "Pending":
-            return False, f"pod {pod.name} is Pending"
+    for ns in env.namespaces:
+        for dep in env.cluster.deployments_in(ns):
+            pods = env.cluster.pods_for_deployment(dep)
+            ready = [p for p in pods if p.ready and not p.crash_looping]
+            if dep.replicas < 1:
+                return False, f"deployment {dep.name} scaled to zero"
+            if len(ready) < dep.replicas:
+                return False, (f"deployment {dep.name}: "
+                               f"{len(ready)}/{dep.replicas} replicas ready")
+        for pod in env.cluster.pods_in(ns):
+            if pod.crash_looping:
+                return False, f"pod {pod.name} is crash-looping"
+            if pod.phase.value == "Pending":
+                return False, f"pod {pod.name} is Pending"
     err = env.probe_error_rate(probe_seconds)
     if err > max_error_rate:
         return False, f"probe workload error rate {err:.1%} exceeds {max_error_rate:.0%}"

@@ -22,6 +22,12 @@ not just a float:
 * :class:`~repro.faults.triggers.AfterEvent` — chains off another entry's
   firing by ``tag``, whatever condition fired it.
 
+Multi-app environments add a *where* dimension: every entry carries a
+``namespace`` naming the app it acts on (empty → the environment's
+primary app), and a metric trigger may watch a *different* app's
+telemetry than the entry targets — the cross-app shapes (noisy neighbor,
+load-triggered cross-app remediation) are built from exactly this split.
+
 Builders cover the paper-motivated shapes:
 
 * :meth:`FaultSchedule.delayed` — single fault with onset delay;
@@ -31,7 +37,13 @@ Builders cover the paper-motivated shapes:
   policies taking over at a scheduled moment);
 * :meth:`FaultSchedule.when` / :meth:`FaultSchedule.after` — condition-
   triggered and chained entries ("inject network_loss on the frontend once
-  p99 > 800 ms for 30 s, then cascade to geo when error rate crosses 5/s").
+  p99 > 800 ms for 30 s, then cascade to geo when error rate crosses 5/s");
+* :meth:`FaultSchedule.every_crossing` — a **repeating** condition-
+  triggered entry: the armed watch re-arms itself after each firing
+  (:meth:`~repro.telemetry.watch.MetricWatch.rearm`) and waits for the
+  signal to drop back across the threshold before it may fire again, so
+  the entry fires once per threshold *crossing* — the auto-remediation
+  loop shape (inject/recover driven by telemetry).
 """
 
 from __future__ import annotations
@@ -53,6 +65,7 @@ from repro.faults.triggers import (
 from repro.telemetry.watch import MetricWatch
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import App
     from repro.core.env import CloudEnvironment
     from repro.simcore import ScheduledEvent
     from repro.workload.policies import RatePolicy
@@ -82,9 +95,14 @@ class TimelineEntry:
 
     ``trigger`` says *when* the entry fires — a :class:`Trigger`, or a
     plain number of seconds from arm time (coerced to :class:`AtTime`);
-    ``kind`` is ``"inject"``, ``"recover"`` or ``"set_rate"``.  ``tag``
-    names the entry so later entries can chain off it with
-    :class:`AfterEvent`.
+    ``kind`` is ``"inject"``, ``"recover"`` or ``"set_rate"``.
+    ``namespace`` says *where* it acts: the namespace whose app the fault
+    is injected into (or whose driver's rate policy is swapped); empty
+    means the environment's primary app.  ``tag`` names the entry so
+    later entries can chain off it with :class:`AfterEvent`.  ``repeat``
+    (metric-triggered entries only) is the number of firings the entry is
+    allowed across watch re-arms — ``1`` is the historical fire-once,
+    ``0`` means unlimited (fire at every threshold crossing).
     """
 
     trigger: Trigger
@@ -93,9 +111,17 @@ class TimelineEntry:
     targets: tuple[str, ...] = ()
     policy: Optional["RatePolicy"] = None
     tag: str = ""
+    namespace: str = ""
+    repeat: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "trigger", as_trigger(self.trigger))
+        if self.repeat < 0:
+            raise ValueError(f"repeat must be >= 0, got {self.repeat}")
+        if self.repeat != 1 and not isinstance(self.trigger, MetricTrigger):
+            raise ValueError(
+                "repeat is only meaningful for metric-triggered entries "
+                f"(got repeat={self.repeat} on {self.trigger.describe()})")
 
     @property
     def at(self) -> Optional[float]:
@@ -103,9 +129,10 @@ class TimelineEntry:
         return self.trigger.at if isinstance(self.trigger, AtTime) else None
 
     def describe(self) -> str:
+        where = f" @{self.namespace}" if self.namespace else ""
         if self.kind == "set_rate":
-            return f"set_rate {type(self.policy).__name__}"
-        return f"{self.kind} {self.fault} -> {list(self.targets)}"
+            return f"set_rate {type(self.policy).__name__}{where}"
+        return f"{self.kind} {self.fault} -> {list(self.targets)}{where}"
 
 
 class FaultSchedule:
@@ -142,60 +169,76 @@ class FaultSchedule:
                 f"(injector={spec.injector!r}) and cannot be scheduled")
 
     def inject(self, at: float | Trigger, fault: str | int,
-               targets: Sequence[str], *, tag: str = "") -> "FaultSchedule":
+               targets: Sequence[str], *, tag: str = "",
+               namespace: str = "") -> "FaultSchedule":
         """Inject ``fault`` into ``targets`` when ``at`` trips (seconds
-        after arming, or any :class:`Trigger`)."""
+        after arming, or any :class:`Trigger`).  ``namespace`` picks the
+        app acted on in a multi-app environment."""
         self._check_injectable(fault)
         return self._add(TimelineEntry(as_trigger(at), "inject", fault,
-                                       tuple(targets), tag=tag))
+                                       tuple(targets), tag=tag,
+                                       namespace=namespace))
 
     def recover(self, at: float | Trigger, fault: str | int,
-                targets: Sequence[str], *, tag: str = "") -> "FaultSchedule":
+                targets: Sequence[str], *, tag: str = "",
+                namespace: str = "") -> "FaultSchedule":
         """Recover ``fault`` on ``targets`` when ``at`` trips."""
         self._check_injectable(fault)
         return self._add(TimelineEntry(as_trigger(at), "recover", fault,
-                                       tuple(targets), tag=tag))
+                                       tuple(targets), tag=tag,
+                                       namespace=namespace))
 
     def set_rate(self, at: float | Trigger, policy: "RatePolicy", *,
-                 tag: str = "") -> "FaultSchedule":
-        """Swap the workload's rate policy when ``at`` trips."""
+                 tag: str = "", namespace: str = "") -> "FaultSchedule":
+        """Swap a workload driver's rate policy when ``at`` trips —
+        ``namespace``'s driver in a multi-app environment (default: the
+        primary app's)."""
         return self._add(TimelineEntry(as_trigger(at), "set_rate",
-                                       policy=policy, tag=tag))
+                                       policy=policy, tag=tag,
+                                       namespace=namespace))
 
     def when(self, trigger: Trigger, fault: str | int,
              targets: Sequence[str], *, kind: str = "inject",
-             tag: str = "") -> "FaultSchedule":
+             tag: str = "", namespace: str = "",
+             repeat: int = 1) -> "FaultSchedule":
         """Condition-triggered entry: fire ``kind`` when ``trigger`` trips.
 
         Sugar for ``inject``/``recover`` with an explicit trigger — reads
         as the scenario sentence: ``sched.when(MetricAbove("frontend",
         "latency_p99_ms", 800, sustain_s=30), "NetworkLoss", ("frontend",))``.
+        The trigger may watch one app while the entry acts on another
+        (``trigger.namespace`` vs ``namespace``).  ``repeat`` allows the
+        entry to fire at up to that many threshold crossings (0 =
+        unlimited) by re-arming the underlying watch after each firing.
         """
-        if kind == "inject":
-            return self.inject(trigger, fault, targets, tag=tag)
-        if kind == "recover":
-            return self.recover(trigger, fault, targets, tag=tag)
-        raise ValueError(f"when() supports inject/recover, got {kind!r}")
+        if kind not in ("inject", "recover"):
+            raise ValueError(f"when() supports inject/recover, got {kind!r}")
+        self._check_injectable(fault)
+        return self._add(TimelineEntry(trigger, kind, fault, tuple(targets),
+                                       tag=tag, namespace=namespace,
+                                       repeat=repeat))
 
     def after(self, tag: str, fault: str | int, targets: Sequence[str], *,
               delay: float = 0.0, kind: str = "inject",
-              new_tag: str = "") -> "FaultSchedule":
+              new_tag: str = "", namespace: str = "") -> "FaultSchedule":
         """Chain an entry ``delay`` seconds after the entry tagged ``tag``
-        fires — however that entry was triggered."""
+        fires — however that entry was triggered.  (An entry chained off a
+        *repeating* tag fires on the tag's first firing only.)"""
         return self.when(AfterEvent(tag, delay), fault, targets, kind=kind,
-                         tag=new_tag)
+                         tag=new_tag, namespace=namespace)
 
     # -- canned shapes -------------------------------------------------
     @classmethod
     def delayed(cls, fault: str | int, targets: Sequence[str],
-                delay: float) -> "FaultSchedule":
+                delay: float, *, namespace: str = "") -> "FaultSchedule":
         """A single fault whose onset is ``delay`` seconds after arming."""
-        return cls().inject(delay, fault, targets)
+        return cls().inject(delay, fault, targets, namespace=namespace)
 
     @classmethod
     def flapping(cls, fault: str | int, targets: Sequence[str], *,
                  start: float = 0.0, period: float = 30.0,
-                 on_for: float = 15.0, cycles: int = 4) -> "FaultSchedule":
+                 on_for: float = 15.0, cycles: int = 4,
+                 namespace: str = "") -> "FaultSchedule":
         """An intermittent fault: ``cycles`` inject/recover pairs, each
         cycle ``period`` seconds long with the fault live for ``on_for``."""
         if not 0 < on_for < period:
@@ -207,8 +250,8 @@ class FaultSchedule:
         sched = cls()
         for k in range(cycles):
             t0 = start + k * period
-            sched.inject(t0, fault, targets)
-            sched.recover(t0 + on_for, fault, targets)
+            sched.inject(t0, fault, targets, namespace=namespace)
+            sched.recover(t0 + on_for, fault, targets, namespace=namespace)
         return sched
 
     @classmethod
@@ -222,11 +265,30 @@ class FaultSchedule:
 
     @classmethod
     def load_triggered(cls, trigger: MetricTrigger, fault: str | int,
-                       targets: Sequence[str]) -> "FaultSchedule":
+                       targets: Sequence[str], *,
+                       namespace: str = "") -> "FaultSchedule":
         """A single fault that lands once the system crosses a telemetry
         threshold — the "fires because the system is already degraded"
-        shape the ROADMAP calls for."""
-        return cls().when(trigger, fault, targets)
+        shape.  In a multi-app environment the watched metric
+        (``trigger.namespace``) and the faulted app (``namespace``) may
+        differ — the noisy-neighbor shape."""
+        return cls().when(trigger, fault, targets, namespace=namespace)
+
+    @classmethod
+    def every_crossing(cls, trigger: MetricTrigger, fault: str | int,
+                       targets: Sequence[str], *, kind: str = "inject",
+                       namespace: str = "", max_fires: int = 0,
+                       tag: str = "") -> "FaultSchedule":
+        """A repeating condition-triggered entry: fire ``kind`` every time
+        the threshold is *crossed* (the armed watch re-arms after each
+        firing and must see one non-satisfying scrape before it can fire
+        again).  ``max_fires`` caps the loop (0 = unlimited).  This is the
+        first schedule shape built on
+        :meth:`~repro.telemetry.watch.MetricWatch.rearm` — composed in
+        pairs it expresses telemetry-driven inject/recover loops
+        (auto-remediation storylines)."""
+        return cls().when(trigger, fault, targets, kind=kind, tag=tag,
+                          namespace=namespace, repeat=max_fires)
 
     # -- properties ----------------------------------------------------
     @property
@@ -271,33 +333,39 @@ class FaultSchedule:
 class ArmedSchedule:
     """A :class:`FaultSchedule` bound to one environment's event queue.
 
-    Keeps the per-family injectors it creates (so ``recover_all`` can undo
-    exactly what was injected), the scheduled events and armed watches (so
-    a problem teardown can cancel what hasn't fired yet), and a fired log
-    for introspection.
+    Keeps the per-(namespace, family) injectors it creates (so
+    ``recover_all`` can undo exactly what was injected, app by app), the
+    scheduled events and armed watches (so a problem teardown can cancel
+    what hasn't fired yet), and a fired log for introspection.
 
     Arming is trigger-directed:
 
     * :class:`AtTime` entries are ``schedule_at`` events — byte-for-byte
       the pre-trigger behavior;
     * metric entries register a :class:`MetricWatch` with the collector
-      (scrape-time evaluation) **and** attach it to the queue, so span
-      planners count the pending trigger as live activity;
+      (scrape-time evaluation, under the watched namespace's *qualified*
+      metric name) **and** attach it to the queue, so span planners count
+      the pending trigger as live activity.  Entries with ``repeat != 1``
+      re-arm their watch from the firing callback, with crossing
+      semantics (``require_clear``), until the repeat budget is spent or
+      the schedule is torn down;
     * :class:`AfterEvent` entries are held as dependents of their tag and
-      scheduled ``delay`` seconds after the tagged entry fires.
+      scheduled ``delay`` seconds after the tagged entry (first) fires.
     """
 
     def __init__(self, schedule: FaultSchedule, env: "CloudEnvironment") -> None:
         self.schedule = schedule
         self.env = env
         self.armed_at = env.clock.now
-        self._injectors: dict[str, FaultInjector] = {}
+        self._injectors: dict[tuple[str, str], FaultInjector] = {}
         self.events: list["ScheduledEvent"] = []
         self.watches: list[MetricWatch] = []
         #: tag -> chained entries waiting on it
         self._dependents: dict[str, list[TimelineEntry]] = {}
         #: (virtual time, entry description) for every fired entry
         self.log: list[tuple[float, str]] = []
+        #: set by cancel_pending so repeating watches stop re-arming
+        self._torn_down = False
         for entry in schedule.entries:
             trigger = entry.trigger
             if isinstance(trigger, AtTime):
@@ -307,13 +375,16 @@ class ArmedSchedule:
                     label=f"fault.{entry.kind}",
                 ))
             elif isinstance(trigger, MetricTrigger):
-                self._check_watchable(trigger, env)
+                watch_ns = self._resolve_watch_namespace(trigger, env)
                 watch = MetricWatch(
-                    trigger.service, trigger.metric, trigger.threshold,
+                    env.collector.qualify(watch_ns, trigger.service),
+                    trigger.metric, trigger.threshold,
                     above=trigger.above, sustain_s=trigger.sustain_s,
-                    callback=lambda e=entry: self._fire(e),
                     label=f"fault.{entry.kind}.{trigger.service}",
+                    require_clear=entry.repeat != 1,
                 )
+                watch.callback = \
+                    lambda e=entry, w=watch: self._fire_watched(e, w)
                 env.queue.attach_watch(watch)
                 env.collector.add_watch(watch)
                 self.watches.append(watch)
@@ -323,46 +394,104 @@ class ArmedSchedule:
                 raise TypeError(f"unsupported trigger {trigger!r}")
 
     @staticmethod
-    def _check_watchable(trigger: MetricTrigger, env: "CloudEnvironment") -> None:
-        """Fail at arm time, not silently-never-fire time: a typo'd
-        service or metric name would otherwise skip evaluation at every
-        scrape forever (the collector cannot tell 'not scraped yet' from
-        'does not exist')."""
+    def _resolve_watch_namespace(trigger: MetricTrigger,
+                                 env: "CloudEnvironment") -> str:
+        """The namespace whose telemetry ``trigger`` watches.
+
+        Fails at arm time, not silently-never-fire time: a typo'd
+        service, metric or namespace would otherwise skip evaluation at
+        every scrape forever (the collector cannot tell 'not scraped yet'
+        from 'does not exist').  With no explicit ``trigger.namespace``
+        the service name is resolved across every hosted app and must be
+        unambiguous.
+        """
         from repro.telemetry.metrics import MetricStore
-        if trigger.service not in env.app.services:
-            raise ValueError(
-                f"metric trigger watches unknown service "
-                f"{trigger.service!r} (not in {env.app.name}'s services)")
         if trigger.metric not in MetricStore.STANDARD_METRICS:
             raise ValueError(
                 f"metric trigger watches unknown metric {trigger.metric!r}; "
                 f"scrapes record {MetricStore.STANDARD_METRICS}")
+        if trigger.namespace:
+            app = env.app_for(trigger.namespace)  # raises on unknown ns
+            if trigger.service not in app.services:
+                raise ValueError(
+                    f"metric trigger watches unknown service "
+                    f"{trigger.service!r} (not in {app.name}'s services)")
+            return trigger.namespace
+        owners = [a for a in env.apps if trigger.service in a.services]
+        if not owners:
+            raise ValueError(
+                f"metric trigger watches unknown service "
+                f"{trigger.service!r} (not in "
+                f"{'/'.join(a.name for a in env.apps)}'s services)")
+        if len(owners) > 1:
+            raise ValueError(
+                f"service {trigger.service!r} exists in several hosted "
+                f"apps ({', '.join(a.namespace for a in owners)}); give "
+                f"the trigger an explicit namespace")
+        return owners[0].namespace
 
     # -- firing --------------------------------------------------------
-    def _injector_for(self, spec: FaultSpec) -> FaultInjector:
+    def _app_for_entry(self, entry: TimelineEntry) -> "App":
+        ns = entry.namespace or self.env.namespace
+        return self.env.app_for(ns)
+
+    def _injector_for(self, spec: FaultSpec,
+                      entry: TimelineEntry) -> FaultInjector:
         cls = INJECTOR_CLASSES[spec.injector]
-        key = spec.injector
+        app = self._app_for_entry(entry)
+        key = (app.namespace, spec.injector)
         if key not in self._injectors:
-            self._injectors[key] = cls(self.env.app)
+            self._injectors[key] = cls(app)
         return self._injectors[key]
 
+    @staticmethod
+    def _is_live(injector: FaultInjector, spec: FaultSpec,
+                 targets: Sequence[str]) -> bool:
+        return any(r.active and r.fault_name == spec.fault_key
+                   and r.targets == list(targets) for r in injector.live)
+
     def _fire(self, entry: TimelineEntry) -> None:
+        desc = entry.describe()
         if entry.kind == "set_rate":
-            self.env.driver.policy = entry.policy
+            ns = entry.namespace or self.env.namespace
+            self.env.driver_for(ns).policy = entry.policy
         else:
             spec = resolve_fault_spec(entry.fault)
-            injector = self._injector_for(spec)
+            injector = self._injector_for(spec, entry)
             if entry.kind == "inject":
-                injector._inject(list(entry.targets), spec.fault_key)
+                if entry.repeat != 1 \
+                        and self._is_live(injector, spec, entry.targets):
+                    # a repeating entry's previous injection may still be
+                    # live (nothing recovered it between crossings); the
+                    # trigger firing is still logged, the injection is a
+                    # no-op rather than a double-apply error
+                    desc += " (still live)"
+                else:
+                    injector._inject(list(entry.targets), spec.fault_key)
             else:
                 injector._recover(list(entry.targets), spec.fault_key)
         now = self.env.clock.now
-        self.log.append((now, entry.describe()))
+        self.log.append((now, desc))
         if entry.tag:
             self._release_dependents(entry.tag, now)
 
+    def _fire_watched(self, entry: TimelineEntry, watch: MetricWatch) -> None:
+        """Fire a metric-triggered entry and, for repeating entries,
+        re-arm the watch while the repeat budget allows and the schedule
+        has not been torn down.  ``rearm`` re-registers with both the
+        queue and the collector, and ``require_clear`` makes the next
+        firing wait for a fresh threshold crossing."""
+        self._fire(entry)
+        if self._torn_down or entry.repeat == 1:
+            return
+        if entry.repeat == 0 or watch.fire_count < entry.repeat:
+            watch.rearm()
+
     def _release_dependents(self, tag: str, now: float) -> None:
-        """Schedule every entry chained off ``tag`` at ``now + delay``."""
+        """Schedule every entry chained off ``tag`` at ``now + delay``.
+
+        Dependents are popped, so a repeating tagged entry releases its
+        chain on the first firing only."""
         for dep in self._dependents.pop(tag, ()):
             delay = dep.trigger.delay  # type: ignore[union-attr]
             self.events.append(self.env.queue.schedule_at(
@@ -375,7 +504,8 @@ class ArmedSchedule:
     @property
     def pending(self) -> int:
         """Timeline entries that have not fired yet: unfired events,
-        pending watches, and chained entries still waiting on their tag."""
+        pending watches (a re-armed repeating watch counts as pending
+        again), and chained entries still waiting on their tag."""
         events = sum(1 for ev in self.events
                      if not ev.fired and not ev.cancelled)
         watches = sum(1 for w in self.watches if w.pending)
@@ -383,7 +513,9 @@ class ArmedSchedule:
         return events + watches + chained
 
     def cancel_pending(self) -> None:
-        """Cancel every entry that has not fired yet."""
+        """Cancel every entry that has not fired yet and stop repeating
+        watches from re-arming (safe to call mid-loop)."""
+        self._torn_down = True
         for ev in self.events:
             ev.cancel()
         for watch in self.watches:
@@ -392,6 +524,7 @@ class ArmedSchedule:
         self._dependents.clear()
 
     def recover_all(self) -> None:
-        """Undo every live injection made by this schedule."""
+        """Undo every live injection made by this schedule, in every
+        namespace it touched."""
         for injector in self._injectors.values():
             injector.recover_all()

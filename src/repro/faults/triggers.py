@@ -55,12 +55,20 @@ class MetricTrigger(Trigger):
     window of at least that many virtual seconds before firing; ``0``
     fires at the first satisfying scrape.  Firing is scrape-bounded: the
     entry lands during the scrape whose values satisfied the condition.
+
+    ``namespace`` names the application whose telemetry is watched — in a
+    multi-app environment the *watched* app need not be the app the entry
+    acts on (cross-app triggers: a threshold on app A's metrics firing a
+    fault into app B).  Empty means "resolve at arm time": the service
+    name is looked up across the environment's hosted apps and must be
+    unambiguous.
     """
 
     service: str
     metric: str
     threshold: float
     sustain_s: float = 0.0
+    namespace: str = ""
 
     #: direction of the comparison; fixed per subclass
     above: bool = True
@@ -73,7 +81,8 @@ class MetricTrigger(Trigger):
     def describe(self) -> str:
         op = ">" if self.above else "<"
         sustain = f" for {self.sustain_s:g}s" if self.sustain_s else ""
-        return (f"when {self.service}.{self.metric} {op} "
+        where = f"{self.namespace}/" if self.namespace else ""
+        return (f"when {where}{self.service}.{self.metric} {op} "
                 f"{self.threshold:g}{sustain}")
 
 

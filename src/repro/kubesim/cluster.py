@@ -23,49 +23,73 @@ from repro.kubesim.controllers import DeploymentController, EndpointsController
 
 
 class _VersionedDict(dict):
-    """A dict that counts membership mutations.
+    """A dict that counts membership mutations, globally and per namespace.
 
     The cluster's sorted per-namespace object views are derived caches
-    keyed on this version, so every mutation site (controllers, faults,
-    helm, kubectl) invalidates them without having to know they exist.
+    keyed on the global ``version``, so every mutation site (controllers,
+    faults, helm, kubectl) invalidates them without having to know they
+    exist.  Keys are ``(namespace, name)`` tuples; :meth:`ns_version`
+    additionally gives a per-namespace fingerprint component, so one
+    app's profile cache is not invalidated by membership churn in a
+    co-hosted app's namespace (multi-app environments share the cluster).
+    Bulk mutators that can't attribute a namespace bump a shared epoch
+    that is folded into every per-namespace readout.
     """
 
-    __slots__ = ("version",)
+    __slots__ = ("version", "_ns_counts", "_bulk_epoch")
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.version = 0
+        self._ns_counts: dict[str, int] = {}
+        self._bulk_epoch = 0
+
+    def _bump(self, key) -> None:
+        self.version += 1
+        if isinstance(key, tuple) and key:
+            ns = key[0]
+            self._ns_counts[ns] = self._ns_counts.get(ns, 0) + 1
+        else:
+            self._bulk_epoch += 1
+
+    def ns_version(self, namespace: str) -> tuple[int, int]:
+        """Per-namespace mutation fingerprint (count, bulk epoch)."""
+        return (self._ns_counts.get(namespace, 0), self._bulk_epoch)
 
     def __setitem__(self, key, value) -> None:
         super().__setitem__(key, value)
-        self.version += 1
+        self._bump(key)
 
     def __delitem__(self, key) -> None:
         super().__delitem__(key)
-        self.version += 1
+        self._bump(key)
 
     def pop(self, *args):
-        self.version += 1
+        self._bump(args[0] if args else None)
         return super().pop(*args)
 
     def popitem(self):
         self.version += 1
+        self._bulk_epoch += 1
         return super().popitem()
 
     def clear(self) -> None:
         self.version += 1
+        self._bulk_epoch += 1
         super().clear()
 
     def update(self, *args, **kwargs) -> None:
         self.version += 1
+        self._bulk_epoch += 1
         super().update(*args, **kwargs)
 
     def setdefault(self, key, default=None):
-        self.version += 1
+        self._bump(key)
         return super().setdefault(key, default)
 
     def __ior__(self, other):
         self.version += 1
+        self._bulk_epoch += 1
         return super().__ior__(other)
 
 
@@ -112,6 +136,15 @@ class Cluster:
         #: go through a reconcile.  A converged-cluster ``resync`` skips
         #: reconcile and therefore does not bump it.
         self.state_version = 0
+        #: per-namespace CRUD-mutation counters (see ``state_version_for``)
+        self._ns_marks: dict[str, int] = {}
+        #: cluster-global epoch: bumped by every ``reconcile()`` run and by
+        #: namespace-less mutations (node add/remove) — in-place object
+        #: edits bypass CRUD but always reconcile, so folding this epoch
+        #: into every namespace's fingerprint keeps per-app profile caches
+        #: conservatively correct (they may recompile on another app's
+        #: reconcile, but can never serve a stale profile)
+        self._reconcile_version = 0
         #: set by mutating CRUD methods, cleared by reconcile(); lets the
         #: periodic resync event skip converged clusters in O(1)
         self._dirty = True
@@ -125,10 +158,32 @@ class Cluster:
     # ------------------------------------------------------------------
     # bookkeeping helpers
     # ------------------------------------------------------------------
-    def _mark_dirty(self) -> None:
-        """Flag unreconciled state and bump the mutation counter."""
+    def _mark_dirty(self, namespace: Optional[str] = None) -> None:
+        """Flag unreconciled state and bump the mutation counters.
+
+        ``namespace`` attributes the mutation for per-app fingerprints;
+        namespace-less mutations (nodes) bump the cluster-global epoch
+        instead, since they can affect scheduling everywhere.
+        """
         self._dirty = True
         self.state_version += 1
+        if namespace is not None:
+            self._ns_marks[namespace] = self._ns_marks.get(namespace, 0) + 1
+        else:
+            self._reconcile_version += 1
+
+    def state_version_for(self, namespace: str) -> tuple[int, int]:
+        """Per-namespace state fingerprint: (namespace CRUD marks,
+        cluster-global reconcile epoch).
+
+        Changes whenever anything that could affect ``namespace``'s
+        request execution changed: CRUD in the namespace itself, any
+        reconcile (in-place edits always reconcile), or a namespace-less
+        mutation.  CRUD-only mutations in *other* namespaces (secrets,
+        configmaps — anything that doesn't trigger a reconcile) leave it
+        untouched, which is what keys profile caches per app.
+        """
+        return (self._ns_marks.get(namespace, 0), self._reconcile_version)
 
     def _next_uid(self) -> str:
         return f"uid-{next(self._uid_counter):06d}"
@@ -165,14 +220,14 @@ class Cluster:
     # namespaces & nodes
     # ------------------------------------------------------------------
     def create_namespace(self, name: str) -> None:
-        self._mark_dirty()
+        self._mark_dirty(name)
         self.namespaces.add(name)
 
     def delete_namespace(self, name: str) -> None:
         """Delete a namespace and everything inside it."""
         if name not in self.namespaces:
             raise ResourceNotFound("Namespace", name)
-        self._mark_dirty()
+        self._mark_dirty(name)
         self.namespaces.discard(name)
         for store in (
             self.pods,
@@ -210,7 +265,7 @@ class Cluster:
         key = (dep.namespace, dep.name)
         if key in self.deployments:
             raise InvalidAction(f'deployment "{dep.name}" already exists')
-        self._mark_dirty()
+        self._mark_dirty(dep.namespace)
         dep.meta.uid = self._next_uid()
         dep.meta.creation_time = self.clock.now
         self.deployments[key] = dep
@@ -229,7 +284,7 @@ class Cluster:
 
     def delete_deployment(self, namespace: str, name: str) -> None:
         self.get_deployment(namespace, name)
-        self._mark_dirty()
+        self._mark_dirty(namespace)
         del self.deployments[(namespace, name)]
         self.reconcile()
 
@@ -237,7 +292,7 @@ class Cluster:
         if replicas < 0:
             raise InvalidAction(f"replicas must be >= 0, got {replicas}")
         dep = self.get_deployment(namespace, name)
-        self._mark_dirty()
+        self._mark_dirty(namespace)
         old = dep.replicas
         dep.replicas = replicas
         dep.generation += 1
@@ -254,7 +309,7 @@ class Cluster:
         key = (svc.namespace, svc.name)
         if key in self.services:
             raise InvalidAction(f'service "{svc.name}" already exists')
-        self._mark_dirty()
+        self._mark_dirty(svc.namespace)
         svc.meta.uid = self._next_uid()
         svc.meta.creation_time = self.clock.now
         if not svc.cluster_ip:
@@ -271,7 +326,7 @@ class Cluster:
 
     def delete_service(self, namespace: str, name: str) -> None:
         self.get_service(namespace, name)
-        self._mark_dirty()
+        self._mark_dirty(namespace)
         del self.services[(namespace, name)]
         self.endpoints.pop((namespace, name), None)
 
@@ -286,7 +341,7 @@ class Cluster:
         key = (pod.namespace, pod.name)
         if key in self.pods:
             raise InvalidAction(f'pod "{pod.name}" already exists')
-        self._mark_dirty()
+        self._mark_dirty(pod.namespace)
         pod.meta.uid = self._next_uid()
         pod.meta.creation_time = self.clock.now
         pod.start_time = self.clock.now
@@ -303,13 +358,13 @@ class Cluster:
     def delete_pod(self, namespace: str, name: str) -> None:
         pod = self.get_pod(namespace, name)
         self.record_event(namespace, "Pod", name, "Killing", f"Stopping container {name}")
-        self._mark_dirty()
+        self._mark_dirty(namespace)
         del self.pods[(namespace, pod.name)]
         self.reconcile()
 
     def create_configmap(self, cm: ConfigMap) -> ConfigMap:
         self.require_namespace(cm.namespace)
-        self._mark_dirty()
+        self._mark_dirty(cm.namespace)
         cm.meta.uid = self._next_uid()
         cm.meta.creation_time = self.clock.now
         self.configmaps[(cm.namespace, cm.name)] = cm
@@ -323,7 +378,7 @@ class Cluster:
 
     def create_secret(self, s: Secret) -> Secret:
         self.require_namespace(s.namespace)
-        self._mark_dirty()
+        self._mark_dirty(s.namespace)
         s.meta.uid = self._next_uid()
         s.meta.creation_time = self.clock.now
         self.secrets[(s.namespace, s.name)] = s
@@ -405,6 +460,7 @@ class Cluster:
         counter still observes them.
         """
         self.state_version += 1
+        self._reconcile_version += 1
         for _ in range(rounds):
             changed = False
             changed |= self._deploy_ctrl.reconcile()

@@ -16,10 +16,17 @@ works:
 * **chained** — entries fire relative to *other entries'* firing
   (:class:`~repro.faults.triggers.AfterEvent`), whatever triggered them;
 * **high-rate** — 1k–2k rps variants at ``fidelity="aggregate"``, the
-  batched execution tier, on both applications.
+  batched execution tier, on both applications;
+* **multi-app** — several applications co-hosted on one environment
+  (shared clock/queue/collector, separate namespaces), where a metric
+  watch on one app's telemetry fires faults into the other: noisy
+  neighbor, shared-backend contention cascades, and a telemetry-driven
+  cross-app **auto-remediation loop** built on repeating triggers
+  (:meth:`~repro.faults.schedule.FaultSchedule.every_crossing` /
+  :meth:`~repro.telemetry.watch.MetricWatch.rearm`).
 
-Scenarios now span both applications (HotelReservation and
-SocialNetwork).  They are registered behind
+Scenarios span both applications (HotelReservation and SocialNetwork),
+singly and co-hosted.  They are registered behind
 :func:`repro.problems.scenario_pids` and are *not* part of
 :func:`~repro.problems.benchmark_pids`, so the paper-faithful 48-problem
 set is untouched.
@@ -29,7 +36,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.core.env import FIDELITY_TIERS, CloudEnvironment, EnvSpec
+from repro.apps import HotelReservation, SocialNetwork
+from repro.core.env import AppSpec, FIDELITY_TIERS, CloudEnvironment, EnvSpec
 from repro.core.problem import (
     DetectionTask,
     LocalizationTask,
@@ -39,6 +47,10 @@ from repro.core.problem import (
 from repro.faults.schedule import ArmedSchedule, FaultSchedule
 from repro.faults.triggers import MetricAbove
 from repro.workload.policies import BurstRate, RatePolicy, SpikeRate
+
+#: the two hosted namespaces, named once (multi-app scenario wiring)
+HOTEL_NS = HotelReservation.namespace
+SOCIAL_NS = SocialNetwork.namespace
 
 
 class ScheduledFaultProblem(Problem):
@@ -90,7 +102,8 @@ class ScheduledFaultProblem(Problem):
 
 
 # ---------------------------------------------------------------------------
-# HotelReservation: time-triggered shapes (PR 2's original five)
+# HotelReservation: time-triggered shapes (the original five that shipped
+# with the FaultSchedule timeline layer)
 # ---------------------------------------------------------------------------
 
 class DelayedRevokeAuthDetection(ScheduledFaultProblem, DetectionTask):
@@ -367,6 +380,183 @@ class HighRateDelayedMisconfigDetection(ScheduledFaultProblem, DetectionTask):
                                      self.onset_delay)
 
 
+# ---------------------------------------------------------------------------
+# Multi-app scenarios: two applications, one environment, cross-app triggers
+# ---------------------------------------------------------------------------
+
+class MultiAppScheduledProblem(ScheduledFaultProblem):
+    """Base for scenarios hosted on a multi-app :class:`CloudEnvironment`.
+
+    Subclasses declare the hosted applications via :meth:`app_specs`
+    (first spec = the primary app the task is graded on) and a timeline
+    whose entries may target any hosted namespace.  The agent's problem
+    description leads with the primary app (existing scaffolds parse the
+    first ``namespace "..."`` they see) and then introduces the co-hosted
+    neighbors, whose namespaces the ACI and kubectl can inspect too.
+    """
+
+    def app_specs(self) -> list[AppSpec]:
+        raise NotImplementedError
+
+    def create_environment(self, seed: int = 0) -> CloudEnvironment:
+        return CloudEnvironment(self.app_specs(), seed=seed,
+                                fidelity=self.fidelity)
+
+    def problem_description(self, env: CloudEnvironment) -> str:
+        desc = super().problem_description(env)
+        neighbors = env.apps[1:]
+        if not neighbors:
+            return desc
+        extra = "\n".join(
+            f"A second application ({a.name}) is co-hosted on the same "
+            f'cluster in namespace "{a.namespace}" '
+            f"(services: {', '.join(sorted(a.services))})."
+            for a in neighbors)
+        head, sep, tail = desc.partition("Task: ")
+        return f"{head}{extra}\n{sep}{tail}" if sep else f"{desc}\n{extra}"
+
+
+class NoisyNeighborDetection(MultiAppScheduledProblem, DetectionTask):
+    """HotelReservation (under test) shares the environment with a bursty
+    SocialNetwork neighbor.  When the neighbor's storm pushes its frontend
+    past ``storm_threshold`` req/s, packet loss lands on the *hotel* search
+    path — interference from a co-tenant, not a fault of the app itself.
+
+    Timing: the neighbor bursts on a 45 s cycle ([0, 15), [45, 60), ...);
+    the watch arms at t=30 (after warmup), so the first satisfying scrape
+    is t=50 — the interference is live before the agent engages at t=60."""
+
+    neighbor_base = 40.0
+    neighbor_factor = 5.0
+    neighbor_interval = 45.0
+    neighbor_duration = 15.0
+    storm_threshold = 150.0
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="search",
+                         app_name="HotelReservation", pid=pid, expected="yes",
+                         fidelity=fidelity)
+
+    def app_specs(self) -> list[AppSpec]:
+        return [
+            AppSpec(HotelReservation, workload_rate=self.workload_rate),
+            AppSpec(SocialNetwork, policy=BurstRate(
+                base=self.neighbor_base, burst_factor=self.neighbor_factor,
+                interval=self.neighbor_interval,
+                burst_duration=self.neighbor_duration)),
+        ]
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.load_triggered(
+            MetricAbove("nginx-web-server", "request_rate",
+                        self.storm_threshold, namespace=SOCIAL_NS),
+            "NetworkLoss", (self.target,), namespace=HOTEL_NS)
+
+
+class SharedBackendCascadeLocalization(MultiAppScheduledProblem,
+                                       LocalizationTask):
+    """A cross-app cascade through shared backend infrastructure: the
+    co-hosted SocialNetwork's read storm saturates its post-storage path,
+    and — both tenants' databases living on the same simulated backend
+    tier — HotelReservation's rate database locks clients out
+    (RevokeAuth as the contention stand-in), then the recommendation pods
+    fail 30 s after the lockout.  Ground truth is the *hotel-side* root
+    of the cascade (mongodb-rate); the trigger lives entirely in the
+    neighbor's namespace.  The neighbor's storm cycle puts the first
+    satisfying scrape at t=50 (lockout live before the agent engages) and
+    the pod failure at t=80, mid-session."""
+
+    storm_threshold = 100.0
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="mongodb-rate",
+                         app_name="HotelReservation", pid=pid,
+                         fidelity=fidelity)
+
+    def app_specs(self) -> list[AppSpec]:
+        return [
+            AppSpec(HotelReservation, workload_rate=self.workload_rate),
+            AppSpec(SocialNetwork, policy=BurstRate(
+                base=50.0, burst_factor=4.0, interval=45.0,
+                burst_duration=15.0)),
+        ]
+
+    def build_schedule(self) -> FaultSchedule:
+        return (FaultSchedule()
+                .when(MetricAbove("post-storage-service", "request_rate",
+                                  self.storm_threshold, namespace=SOCIAL_NS),
+                      "RevokeAuth", (self.target,), namespace=HOTEL_NS,
+                      tag="contention")
+                .after("contention", "PodFailure", ("recommendation",),
+                       delay=30.0, namespace=HOTEL_NS))
+
+
+class CrossAppRemediationDetection(MultiAppScheduledProblem, DetectionTask):
+    """The auto-remediation loop — the first schedule built on repeating
+    triggers (:meth:`FaultSchedule.every_crossing`, which re-arms its
+    :class:`~repro.telemetry.watch.MetricWatch` after every firing):
+
+    * every time the co-hosted HotelReservation neighbor's burst pushes
+      its frontend past 120 req/s, packet loss lands on SocialNetwork's
+      compose path (cross-app interference, once per storm *crossing*);
+    * every time SocialNetwork's frontend error rate then exceeds
+      0.5 err/s *sustained for 5 s*, the loss is recovered
+      (telemetry-driven remediation) — so the incident flaps in lockstep
+      with the neighbor's load, and both watches keep re-arming for the
+      whole session (first episode ≈ [50, 60], then once per 45 s storm).
+
+    The agent sees a system that degrades and self-heals repeatedly;
+    detection ground truth is "yes"."""
+
+    storm_threshold = 120.0
+    remediation_threshold = 0.5
+    remediation_sustain = 5.0
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="compose-post-service",
+                         app_name="SocialNetwork", pid=pid, expected="yes",
+                         fidelity=fidelity)
+
+    def app_specs(self) -> list[AppSpec]:
+        return [
+            AppSpec(SocialNetwork, workload_rate=self.workload_rate),
+            AppSpec(HotelReservation, policy=BurstRate(
+                base=40.0, burst_factor=4.0, interval=45.0,
+                burst_duration=15.0)),
+        ]
+
+    def build_schedule(self) -> FaultSchedule:
+        return (FaultSchedule
+                .every_crossing(
+                    MetricAbove("frontend", "request_rate",
+                                self.storm_threshold, namespace=HOTEL_NS),
+                    "NetworkLoss", (self.target,), namespace=SOCIAL_NS,
+                    tag="interference")
+                .when(MetricAbove("nginx-web-server", "error_rate",
+                                  self.remediation_threshold,
+                                  sustain_s=self.remediation_sustain,
+                                  namespace=SOCIAL_NS),
+                      "NetworkLoss", (self.target,), kind="recover",
+                      namespace=SOCIAL_NS, repeat=0))
+
+
+class HighRateNoisyNeighborDetection(NoisyNeighborDetection):
+    """The noisy-neighbor scenario at 1000 rps (plus a 400→2000 rps
+    bursting neighbor) on the aggregate execution tier — both apps'
+    drivers batch through ``execute_many`` on the shared queue, and the
+    cross-app trigger still lands within one scrape interval of the
+    per-request tier."""
+
+    workload_rate = 1000.0
+    fidelity = "aggregate"
+    neighbor_base = 400.0
+    neighbor_factor = 5.0
+    storm_threshold = 1500.0
+
+
 #: pid -> factory, in presentation order
 SCENARIO_FACTORIES: dict[str, Callable[[], Problem]] = {
     pid: (lambda cls=cls, pid=pid: cls(pid=pid))
@@ -404,5 +594,14 @@ SCENARIO_FACTORIES: dict[str, Callable[[], Problem]] = {
             LoadTriggeredScaleZeroLocalization,
         "highrate_misconfig_social_net-detection-1":
             HighRateDelayedMisconfigDetection,
+        # multi-app (two namespaces, one environment, cross-app triggers)
+        "noisy_neighbor_multi_hotel_res-detection-1":
+            NoisyNeighborDetection,
+        "shared_backend_cascade_multi_hotel_res-localization-1":
+            SharedBackendCascadeLocalization,
+        "cross_app_remediation_multi_social_net-detection-1":
+            CrossAppRemediationDetection,
+        "highrate_noisy_neighbor_multi_hotel_res-detection-1":
+            HighRateNoisyNeighborDetection,
     }.items()
 }

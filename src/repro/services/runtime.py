@@ -175,6 +175,12 @@ class ServiceRuntime:
             self._pod_cache[service] = name
         return name
 
+    def _q(self, service: str) -> str:
+        """The collector's qualified metric key for one of this app's
+        services — bare in single-app environments, namespace-prefixed
+        for non-default namespaces in multi-app environments."""
+        return self.collector.qualify(self.namespace, service)
+
     def _log(self, service: str, level: str, message: str) -> None:
         self.collector.emit_log(
             self.namespace, service, self._pod_for(service), level, message
@@ -277,7 +283,7 @@ class ServiceRuntime:
             )
             trace.spans.append(span)
             self.collector.record_trace(trace)
-            self.collector.record_request(entry.name, 1.0, error=True)
+            self.collector.record_request(self._q(entry.name), 1.0, error=True)
             return RequestResult(op.name, False, 1.0, root_error,
                                  trace.trace_id, [entry.name])
 
@@ -354,7 +360,8 @@ class ServiceRuntime:
                         status="ERROR", error_message=hop_err.message,
                     )
                     trace.spans.append(child_span)
-                    self.collector.record_request(callee.name, 0.5, error=True)
+                    self.collector.record_request(self._q(callee.name), 0.5,
+                                                  error=True)
                     failure = hop_err
                 else:
                     child_latency, child_err = self._run_service(
@@ -383,7 +390,8 @@ class ServiceRuntime:
         if failure is not None:
             span.status = "ERROR"
             span.error_message = failure.message
-        self.collector.record_request(svc.name, total, error=failure is not None)
+        self.collector.record_request(self._q(svc.name), total,
+                                      error=failure is not None)
         return total, failure
 
     # ------------------------------------------------------------------
@@ -461,9 +469,9 @@ class ServiceRuntime:
             for s in involved
         )
         return (
-            self.cluster.state_version,
-            self.cluster.pods.version,
-            self.cluster.services.version,
+            self.cluster.state_version_for(self.namespace),
+            self.cluster.pods.ns_version(self.namespace),
+            self.cluster.services.ns_version(self.namespace),
             tuple(sorted(self.network_loss.items())),
             backend_versions,
             creds,
@@ -556,7 +564,7 @@ class ServiceRuntime:
         tail_services = self.collector.tail_watch_services()
         if tail_services:
             involved, _ = self._op_fingerprint_inputs(op)
-            if not tail_services.isdisjoint(involved):
+            if not tail_services.isdisjoint(self._q(s) for s in involved):
                 trace_exemplars = max(trace_exemplars,
                                       self.BATCH_TRACE_EXEMPLARS_TAIL)
         #: service -> [requests, errors, latency exemplars]
@@ -632,5 +640,5 @@ class ServiceRuntime:
                 self._log(svc_name, "INFO",
                           f"{op.name}/{command} handled in {site_mean:.1f}ms")
         for s, (count, errors, lats) in bulk.items():
-            self.collector.record_request_bulk(s, count, errors, lats)
+            self.collector.record_request_bulk(self._q(s), count, errors, lats)
         return batch

@@ -1,4 +1,15 @@
-"""The telemetry collector: single sink for logs, metrics and traces."""
+"""The telemetry collector: single sink for logs, metrics and traces.
+
+One collector serves every application in a :class:`~repro.core.env.
+CloudEnvironment` — with multi-app environments (several namespaces on one
+cluster/clock), metric series are keyed by a *qualified* service name:
+the bare service name for the environment's default (first) namespace,
+``"<namespace>/<service>"`` for every other namespace.  Single-app
+environments therefore see exactly the historical bare names, which is
+what keeps their telemetry bit-identical, while two apps that happen to
+share a service name (both DeathStarBench apps ship a ``jaeger``) can
+never collide in the metric store, the baseline RNG or a metric watch.
+"""
 
 from __future__ import annotations
 
@@ -22,7 +33,9 @@ class TelemetryCollector:
     execute; :meth:`scrape` periodically samples per-service resource
     metrics (with realistic baseline noise) plus the request-derived rates
     accumulated since the previous scrape — equivalent to a Prometheus
-    scrape interval.
+    scrape interval.  Scrapes are per namespace: a multi-app environment
+    schedules one scrape event per app, and each clears only its own
+    namespace's request window.
     """
 
     def __init__(self, clock: SimClock, seed: int = 0) -> None:
@@ -31,11 +44,19 @@ class TelemetryCollector:
         self.logs = LogStore()
         self.metrics = MetricStore()
         self.traces = TraceStore()
-        # request accounting between scrapes: service -> [count, errors, latencies]
+        #: the namespace whose services keep bare metric names (set by the
+        #: environment to its first app's namespace); None means "qualify
+        #: nothing" — the historical single-tenant behavior
+        self.default_namespace: Optional[str] = None
+        # request accounting between scrapes, keyed by qualified name:
+        # service -> [count, errors, latencies]
         self._window_requests: dict[str, int] = defaultdict(int)
         self._window_errors: dict[str, int] = defaultdict(int)
         self._window_latencies: dict[str, list[float]] = defaultdict(list)
-        self._last_scrape: float = clock.now
+        #: per-namespace previous-scrape timestamps (scrape windows must
+        #: not bleed across namespaces scraped at the same instant)
+        self._last_scrape: dict[str, float] = {}
+        self._created_at: float = clock.now
         #: per-service synthetic resource baselines, stable across scrapes
         self._cpu_baseline: dict[str, float] = {}
         self._mem_baseline: dict[str, float] = {}
@@ -44,9 +65,33 @@ class TelemetryCollector:
         #: are swept lazily after each scrape
         self._watches: list[MetricWatch] = []
 
+    # -- namespace qualification ------------------------------------------
+    def qualify(self, namespace: str, service: str) -> str:
+        """The metric-store key for ``service`` in ``namespace``.
+
+        Bare for the default namespace (and when no default is set), so
+        single-app telemetry keeps its historical names bit-for-bit;
+        ``"<namespace>/<service>"`` for every other namespace.
+        """
+        if not namespace or self.default_namespace is None \
+                or namespace == self.default_namespace:
+            return service
+        return f"{namespace}/{service}"
+
+    def split(self, qualified: str) -> tuple[str, str]:
+        """Invert :meth:`qualify`: ``(namespace, service)`` of a key."""
+        if "/" in qualified:
+            ns, service = qualified.split("/", 1)
+            return ns, service
+        return self.default_namespace or "", qualified
+
     # -- metric watches ----------------------------------------------------
     def add_watch(self, watch: MetricWatch) -> MetricWatch:
-        """Register ``watch`` for scrape-time evaluation."""
+        """Register ``watch`` for scrape-time evaluation.
+
+        ``watch.service`` must be a *qualified* name (see :meth:`qualify`)
+        when it targets a non-default namespace.
+        """
         watch.collector = self
         if watch not in self._watches:
             self._watches.append(watch)
@@ -62,9 +107,10 @@ class TelemetryCollector:
         return [w for w in self._watches if w.pending]
 
     def tail_watch_services(self) -> frozenset[str]:
-        """Services with a pending watch on a reservoir-estimated tail
-        metric (p50/p99) — the runtime grows its per-batch exemplar
-        reservoir for operations touching these (adaptive fidelity)."""
+        """Qualified names of services with a pending watch on a
+        reservoir-estimated tail metric (p50/p99) — the runtime grows its
+        per-batch exemplar reservoir for operations touching these
+        (adaptive fidelity)."""
         return frozenset(w.service for w in self._watches
                          if w.pending and w.needs_tail)
 
@@ -75,7 +121,10 @@ class TelemetryCollector:
         sees a consistent snapshot and its callback (which may inject
         faults or swap rate policies) cannot perturb the scrape that fired
         it.  A watch whose series has no sample at ``now`` is skipped —
-        its sustain window neither extends nor resets.
+        its sustain window neither extends nor resets; this is also what
+        scopes evaluation per namespace when several apps scrape at the
+        same instant (a watch re-seen after another namespace's scrape at
+        the same ``now`` re-evaluates idempotently).
         """
         fired_any = False
         for watch in self._watches:
@@ -98,6 +147,7 @@ class TelemetryCollector:
         self.traces.add(trace)
 
     def record_request(self, service: str, latency_ms: float, error: bool) -> None:
+        """Account one request under a (qualified) service name."""
         self._window_requests[service] += 1
         if error:
             self._window_errors[service] += 1
@@ -134,9 +184,10 @@ class TelemetryCollector:
     def scrape(self, cluster: "Cluster", namespace: str) -> None:
         """Sample one scrape's worth of metrics for every service in ``namespace``."""
         now = self.clock.now
-        window = max(now - self._last_scrape, 1e-9)
+        last = self._last_scrape.get(namespace, self._created_at)
+        window = max(now - last, 1e-9)
         for svc in cluster.services_in(namespace):
-            name = svc.name
+            name = self.qualify(namespace, svc.name)
             cpu_base, mem_base = self._baseline(name)
             pods = cluster.pods_matching(namespace, svc.selector)
             running = [p for p in pods if p.ready and not p.crash_looping]
@@ -166,12 +217,31 @@ class TelemetryCollector:
                 p50 = p99 = 0.0
             self.metrics.record(now, name, "latency_p50_ms", p50)
             self.metrics.record(now, name, "latency_p99_ms", p99)
-        self._window_requests.clear()
-        self._window_errors.clear()
-        self._window_latencies.clear()
-        self._last_scrape = now
+        self._clear_window(namespace)
+        self._last_scrape[namespace] = now
         if self._watches:
             self._evaluate_watches(now)
+
+    def _clear_window(self, namespace: str) -> None:
+        """Drop the scraped namespace's request window — and only its own.
+
+        Another app's window may be mid-accumulation when this namespace
+        scrapes (multi-app environments scrape per namespace, possibly at
+        the same instant), so a blanket ``clear()`` would eat its counts.
+        With no default namespace configured (standalone collectors) every
+        bare key belongs to whichever namespace is scraping — the
+        historical single-tenant behavior.
+        """
+        def owned(key: str) -> bool:
+            if "/" in key:
+                return key.split("/", 1)[0] == namespace
+            return self.default_namespace is None \
+                or self.default_namespace == namespace
+
+        for store in (self._window_requests, self._window_errors,
+                      self._window_latencies):
+            for key in [k for k in store if owned(k)]:
+                del store[key]
 
     # -- adapters for kubectl ----------------------------------------------
     def kubectl_log_source(self, namespace: str, pod: str, tail: int) -> str:
@@ -183,7 +253,7 @@ class TelemetryCollector:
         def source(namespace: str) -> list[tuple[str, float, float]]:
             rows = []
             for pod in cluster.pods_in(namespace):
-                svc = pod.owner or pod.name
+                svc = self.qualify(namespace, pod.owner or pod.name)
                 cpu = self.metrics.snapshot_latest("cpu_usage").get(svc, 0.0)
                 mem = self.metrics.snapshot_latest("memory_usage").get(svc, 0.0)
                 rows.append((pod.name, cpu, mem))

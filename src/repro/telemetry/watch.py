@@ -50,8 +50,15 @@ class MetricWatch(Watch):
         fires at the first satisfying scrape.  A single non-satisfying
         scrape resets the window.
     callback:
-        Invoked exactly once, during the scrape at which the watch fires
-        (after all of that scrape's metrics are recorded).
+        Invoked exactly once per firing, during the scrape at which the
+        watch fires (after all of that scrape's metrics are recorded).
+    require_clear:
+        Edge-trigger semantics for rearmed watches: after a
+        :meth:`rearm`, the condition must first be observed *not*
+        holding at some scrape before the watch may fire again — so a
+        rearm-in-callback loop fires once per threshold **crossing**,
+        not once per scrape while the signal stays past the threshold.
+        The first firing is unaffected (a fresh watch starts clear).
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class MetricWatch(Watch):
         sustain_s: float = 0.0,
         callback: Optional[Callable[[], None]] = None,
         label: str = "",
+        require_clear: bool = False,
     ) -> None:
         if sustain_s < 0:
             raise ValueError(f"sustain_s must be >= 0, got {sustain_s}")
@@ -74,10 +82,17 @@ class MetricWatch(Watch):
         self.above = above
         self.sustain_s = sustain_s
         self.callback = callback
+        self.require_clear = require_clear
         #: scrape timestamp at which the condition started holding
         self.satisfied_since: Optional[float] = None
-        #: scrape timestamp at which the watch fired
+        #: scrape timestamp at which the watch (last) fired
         self.fired_at: Optional[float] = None
+        #: times the watch has fired across rearm cycles
+        self.fire_count: int = 0
+        #: True between a rearm and the first non-satisfying scrape when
+        #: ``require_clear`` is set — the watch is waiting for the signal
+        #: to drop back across the threshold
+        self._blocked: bool = False
         #: the collector evaluating this watch (set by ``add_watch``) so
         #: ``rearm`` can re-register after the post-fire sweep dropped it
         self.collector = None
@@ -100,12 +115,16 @@ class MetricWatch(Watch):
             return False
         if not self.satisfied(value):
             self.satisfied_since = None
+            self._blocked = False
+            return False
+        if self._blocked:
             return False
         if self.satisfied_since is None:
             self.satisfied_since = now
         if now - self.satisfied_since < self.sustain_s:
             return False
         self.fired_at = now
+        self.fire_count += 1
         self.resolve()
         if self.callback is not None:
             self.callback()
@@ -114,9 +133,13 @@ class MetricWatch(Watch):
     def rearm(self) -> None:
         """Reset fire/sustain state so the condition can trip again,
         re-registering with both the queue and the collector (the
-        collector sweeps resolved watches after each scrape)."""
+        collector sweeps resolved watches after each scrape).  With
+        ``require_clear`` the rearmed watch first waits for a scrape at
+        which the condition does *not* hold (crossing semantics)."""
         self.satisfied_since = None
         self.fired_at = None
+        if self.require_clear:
+            self._blocked = True
         super().rearm()
         if self.collector is not None:
             self.collector.add_watch(self)

@@ -1,16 +1,20 @@
 """Drives the service runtime: issues requests as virtual time advances.
 
-Everything runs on the event kernel (:meth:`WorkloadDriver.run_events`):
-arrival ticks are :class:`~repro.simcore.events.ScheduledEvent`\\ s on the
-environment's :class:`~repro.simcore.events.EventQueue`, interleaved with
-telemetry, controller-resync and fault-timeline events, and provably idle
-spans are fast-forwarded instead of ticked through.  A standalone driver
-(no environment) lazily owns a private queue on the runtime's clock.
+Everything runs on the event kernel: arrival ticks are
+:class:`~repro.simcore.events.ScheduledEvent`\\ s on the environment's
+:class:`~repro.simcore.events.EventQueue`, interleaved with telemetry,
+controller-resync and fault-timeline events, and provably idle spans are
+fast-forwarded instead of ticked through.  An environment calls
+:meth:`WorkloadDriver.begin_window` on each of its drivers (a multi-app
+environment hosts one driver per app, all on the shared queue) and then
+runs the queue once; :meth:`WorkloadDriver.run_events` bundles the two
+for standalone drivers, which lazily own a private queue on the
+runtime's clock.
 
-The kernel's per-tick arithmetic is bit-identical to the seed's
-hand-rolled 1-second tick loop — same :class:`WorkloadStats`, RNG draw
-order and scrape timestamps for any window sequence.  The seed loop
-itself now lives only as a private reference fixture inside
+The kernel's per-tick arithmetic is bit-identical to the reference
+1-second tick loop — same :class:`WorkloadStats`, RNG draw order and
+scrape timestamps for any window sequence.  That reference loop lives
+only as a private fixture inside
 ``tests/core/test_kernel_equivalence.py``, which asserts the equivalence.
 """
 
@@ -59,6 +63,11 @@ class WorkloadDriver:
         The environment's event queue.  When omitted the driver creates a
         private queue on the runtime's clock, so standalone drivers (tests,
         offline baselines) run the same kernel path as environments.
+    rng_stream:
+        Name of the driver's RNG stream.  The default (``"workload"``) is
+        the historical single-driver stream; a multi-app environment gives
+        each co-hosted app's driver a namespace-qualified stream so two
+        drivers sharing one seed draw independent arrival sequences.
     """
 
     #: execution modes; re-exported as ``repro.core.env.FIDELITY_TIERS``
@@ -74,6 +83,7 @@ class WorkloadDriver:
         max_requests_per_tick: int = 200,
         queue: Optional[EventQueue] = None,
         mode: str = "per_request",
+        rng_stream: str = "workload",
     ) -> None:
         if not mix:
             raise ValueError("workload mix must not be empty")
@@ -89,7 +99,7 @@ class WorkloadDriver:
         self._span_hint: Optional[Callable[[float, float], float]] = \
             getattr(self._policy, "span_rate", None)
         self.scrape_interval = scrape_interval
-        self.rng = RngStream(seed, "workload")
+        self.rng = RngStream(seed, rng_stream)
         self.stats = WorkloadStats()
         self.max_requests_per_tick = max_requests_per_tick
         self._ops = list(mix)
@@ -143,24 +153,39 @@ class WorkloadDriver:
     # ------------------------------------------------------------------
     # event-kernel path
     # ------------------------------------------------------------------
-    def run_events(self, seconds: float) -> WorkloadStats:
-        """Advance ``seconds`` of virtual time through the event queue.
+    def begin_window(self, end: float) -> None:
+        """Schedule this driver's arrival-tick chain for a window ending
+        at absolute virtual time ``end``.
 
-        Schedules this window's arrival-tick chain and runs the queue, so
-        fault timelines, controller resync and any other scheduled events
-        interleave with the workload on one timeline.  Bit-identical to the
-        seed's 1-second tick loop (stats, RNG draw order, scrape times).
+        The caller still has to run the queue (``queue.run_until(end)``);
+        a multi-app environment begins every driver's window first, so all
+        apps' ticks interleave deterministically on the shared queue, then
+        runs the queue once.
         """
-        if seconds < 0:
-            raise ValueError(f"seconds must be >= 0, got {seconds}")
         clock = self.runtime.clock
+        if end < clock.now:
+            raise ValueError(
+                f"window end {end} precedes the clock ({clock.now})")
         self._window_start = clock.now
-        self._window_end = clock.now + seconds
+        self._window_end = end
         if self.mode == "aggregate":
             self.queue.schedule_at(clock.now, self._tick_batch,
                                    label="workload.batch")
         else:
             self.queue.schedule_at(clock.now, self._tick, label="workload.tick")
+
+    def run_events(self, seconds: float) -> WorkloadStats:
+        """Advance ``seconds`` of virtual time through the event queue.
+
+        Schedules this window's arrival-tick chain and runs the queue, so
+        fault timelines, controller resync and any other scheduled events
+        interleave with the workload on one timeline.  Bit-identical to
+        the reference 1-second tick loop (stats, RNG draw order, scrape
+        times).
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.begin_window(self.runtime.clock.now + seconds)
         self.queue.run_until(self._window_end)
         return self.stats
 

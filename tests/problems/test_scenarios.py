@@ -24,8 +24,8 @@ def run_session(prob, agent_name="gpt-4-w-shell", seed=11, max_steps=12):
 
 
 class TestScenarioRegistration:
-    def test_at_least_fifteen_scenarios(self):
-        assert len(scenario_pids()) >= 15
+    def test_at_least_nineteen_scenarios(self):
+        assert len(scenario_pids()) >= 19
 
     def test_benchmark_set_untouched(self):
         assert len(benchmark_pids()) == 48
@@ -49,6 +49,12 @@ class TestScenarioRegistration:
         assert "load_triggered" in pids
         assert "chained" in pids
         assert "highrate" in pids
+        assert "multi" in pids
+
+    def test_at_least_four_multi_app_scenarios(self):
+        multi = [p for p in scenario_pids() if "_multi_" in p]
+        assert len(multi) >= 4
+        assert any("highrate" in p for p in multi)
 
     def test_both_apps_covered(self):
         assert any("hotel_res" in p for p in scenario_pids())
@@ -195,6 +201,12 @@ class TestAggregateGradingAgreement:
         ("flapping_misconfig_social_net-detection-1", 11),
         ("cascade_social_outage_social_net-localization-1", 11),
         ("load_triggered_scale_zero_social_net-localization-1", 11),
+        # multi-app families (cross-app triggers; high-rate variant
+        # excluded like the other highrate pids — the per-request tick
+        # cap clips 1k+ rps offered load)
+        ("noisy_neighbor_multi_hotel_res-detection-1", 11),
+        ("shared_backend_cascade_multi_hotel_res-localization-1", 11),
+        ("cross_app_remediation_multi_social_net-detection-1", 11),
     ]
 
     @pytest.mark.parametrize("pid,seed", FAMILIES)
@@ -208,3 +220,69 @@ class TestAggregateGradingAgreement:
         pr, ag = results["per_request"], results["aggregate"]
         assert pr["success"] == ag["success"]
         assert pr["steps"] == ag["steps"]
+
+
+class TestMultiAppScenarios:
+    """Scenarios hosted on a two-app CloudEnvironment: the trigger watches
+    one app's telemetry, the fault lands in the other."""
+
+    def test_noisy_neighbor_cross_app_wiring(self):
+        prob = get_problem("noisy_neighbor_multi_hotel_res-detection-1")
+        env = prob.create_environment(seed=4)
+        assert len(env.apps) == 2
+        prob.start_workload(env)
+        prob.inject_fault(env)
+        (t, desc), = prob.armed.log
+        assert t == 50.0  # first scrape inside the neighbor's t=45 burst
+        assert "@test-hotel-reservation" in desc
+        # fault lives in the hotel app; the storming neighbor stays healthy
+        env.advance(20.0)
+        assert env.driver_for("test-hotel-reservation").stats.errors > 0
+        assert env.driver_for("test-social-network").stats.errors == 0
+        env.close()
+
+    def test_remediation_loop_cycles(self):
+        prob = get_problem("cross_app_remediation_multi_social_net-detection-1")
+        env = prob.create_environment(seed=4)
+        prob.start_workload(env)
+        prob.inject_fault(env)
+        env.advance(150.0)
+        kinds = [d.split()[0] for _, d in prob.armed.log]
+        assert kinds.count("inject") >= 2, "storm must re-trigger interference"
+        assert kinds.count("recover") >= 2, "remediation must re-fire too"
+        prob.recover_fault(env)
+        assert prob.armed.pending == 0
+        env.close()
+
+    def test_description_introduces_both_namespaces(self):
+        prob = get_problem("noisy_neighbor_multi_hotel_res-detection-1")
+        env = prob.create_environment(seed=4)
+        desc = prob.problem_description(env)
+        # the primary namespace leads (scaffolds parse the first match)
+        assert desc.index('namespace "test-hotel-reservation"') < \
+            desc.index('namespace "test-social-network"')
+        assert desc.rstrip().splitlines()[-1].startswith("Task:")
+        env.close()
+
+    def test_shared_backend_cascade_unfolds_in_order(self):
+        prob = get_problem(
+            "shared_backend_cascade_multi_hotel_res-localization-1")
+        env = prob.create_environment(seed=4)
+        prob.start_workload(env)
+        prob.inject_fault(env)
+        env.advance(60.0)
+        times = {d.split()[1]: t for t, d in prob.armed.log}
+        assert times["PodFailure"] == times["RevokeAuth"] + 30.0
+        env.close()
+
+    def test_highrate_variant_delivers_aggregate_load(self):
+        prob = get_problem("highrate_noisy_neighbor_multi_hotel_res-detection-1")
+        assert prob.fidelity == "aggregate"
+        env = prob.create_environment(seed=4)
+        prob.start_workload(env)
+        assert env.driver.stats.requests == pytest.approx(30_000, abs=100)
+        prob.inject_fault(env)
+        env.advance(30.0)
+        assert prob.armed.log, "cross-app trigger must fire at scale"
+        assert env.driver.stats.errors > 0
+        env.close()

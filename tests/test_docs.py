@@ -1,0 +1,63 @@
+"""Generated docs must match the registries they document.
+
+`scripts/gen_docs.py` renders `docs/api/actions.md` from the `@action`
+registry and `docs/scenarios.md` from the scenario pool; both are
+committed.  This test (and the CI `docs-check` step, which runs
+`gen_docs.py --check`) fails when either file is stale.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _gen_docs():
+    spec = importlib.util.spec_from_file_location(
+        "gen_docs", REPO / "scripts" / "gen_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["gen_docs"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGeneratedDocs:
+    def test_actions_reference_is_current(self):
+        gen = _gen_docs()
+        path = REPO / "docs" / "api" / "actions.md"
+        assert path.exists(), "run: PYTHONPATH=src python scripts/gen_docs.py"
+        assert path.read_text() == gen.render_actions_md(), \
+            "docs/api/actions.md is stale — regenerate with scripts/gen_docs.py"
+
+    def test_scenario_catalog_is_current(self):
+        gen = _gen_docs()
+        path = REPO / "docs" / "scenarios.md"
+        assert path.exists(), "run: PYTHONPATH=src python scripts/gen_docs.py"
+        assert path.read_text() == gen.render_scenarios_md(), \
+            "docs/scenarios.md is stale — regenerate with scripts/gen_docs.py"
+
+    def test_catalog_lists_every_scenario(self):
+        from repro.problems import scenario_pids
+        text = (REPO / "docs" / "scenarios.md").read_text()
+        for pid in scenario_pids():
+            assert f"`{pid}`" in text
+
+    def test_readme_python_blocks_run(self):
+        """Every ```python block in the README must execute end-to-end —
+        the quickstart and multi-app examples are living documentation,
+        not prose."""
+        import re
+        text = (REPO / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+        assert len(blocks) >= 3, "README lost its examples"
+        for i, block in enumerate(blocks):
+            exec(compile(block, f"<README block {i}>", "exec"), {})
+
+    def test_actions_reference_covers_every_task_surface(self):
+        from repro.core.aci import registry_for
+        text = (REPO / "docs" / "api" / "actions.md").read_text()
+        for task in ("detection", "localization", "analysis", "mitigation"):
+            assert f"## {task} surface" in text
+            for name in registry_for(task).names():
+                assert f"`{name}`" in text
