@@ -33,7 +33,10 @@ from pathlib import Path
 
 from repro.apps import HotelReservation, SocialNetwork
 from repro.core.env import AppSpec, CloudEnvironment
-from repro.kubesim import Cluster
+from repro.kubesim import Cluster, NodeSpec, ResourcePlane
+from repro.kubesim.objects import (
+    Container, ContainerPort, Deployment, ObjectMeta, PodTemplate,
+)
 from repro.simcore import SimClock
 from repro.telemetry import TelemetryCollector
 
@@ -114,6 +117,72 @@ def bench_tail_reservoir(n: int = 10_000, repeats: int = 3) -> dict:
     return result
 
 
+class _BenchService:
+    busy_mcores_per_rps = 2.0
+
+
+class _BenchRuntime:
+    """Minimal runtime shim: the plane only reads ``namespace`` and
+    ``services[name].busy_mcores_per_rps``."""
+
+    def __init__(self, namespace, service_names):
+        self.namespace = namespace
+        self.services = {name: _BenchService() for name in service_names}
+
+
+def bench_nodes(pods: int = 10_000, nodes: int = 100,
+                deployments: int = 20, rollups: int = 20) -> dict:
+    """Resource-plane cost at scale: bin-pack ``pods`` pods over ``nodes``
+    capacity-bounded nodes, then measure the per-rollup utilization sweep
+    (the recurring 5 s event every coupled environment pays)."""
+    clock = SimClock()
+    cluster = Cluster(clock=clock, node_specs=[
+        NodeSpec(f"node-{i}") for i in range(nodes)
+    ])
+    replicas = pods // deployments
+    names = [f"svc-{i}" for i in range(deployments)]
+    t0 = time.perf_counter()
+    for name in names:
+        cluster.create_deployment(Deployment(
+            meta=ObjectMeta(name=name, namespace="default"),
+            replicas=replicas,
+            selector={"app": name},
+            template=PodTemplate(
+                labels={"app": name},
+                containers=[Container(name, "img:latest",
+                                      [ContainerPort(8080)],
+                                      cpu_request=100.0,
+                                      mem_request=128.0)],
+            ),
+        ))
+    schedule_s = time.perf_counter() - t0
+    bound = sum(1 for p in cluster.pods.values() if p.bound_node)
+
+    plane = ResourcePlane(cluster, clock)
+    plane.register_runtime(_BenchRuntime("default", names))
+    rollup_s = float("inf")
+    for _ in range(rollups):
+        for name in names:
+            plane.account("default", name, count=500)
+        clock.advance(5.0)
+        t0 = time.perf_counter()
+        plane.rollup()
+        rollup_s = min(rollup_s, time.perf_counter() - t0)
+    result = {
+        "pods": pods,
+        "nodes": nodes,
+        "deployments": deployments,
+        "pods_bound": bound,
+        "schedule_s": round(schedule_s, 4),
+        "rollup_s": round(rollup_s, 6),
+        "rollups_per_s": round(1.0 / rollup_s, 1),
+    }
+    print(f"nodes: {pods:,} pods over {nodes} nodes  "
+          f"schedule {schedule_s:.3f}s  rollup {rollup_s:.6f}s "
+          f"({1.0 / rollup_s:,.0f}/s)")
+    return result
+
+
 def bench_multi_app(seconds: float = 300.0, rps: float = 500.0,
                     repeats: int = 3) -> dict:
     """Co-hosting overhead: advance one 2-app environment vs two separate
@@ -174,12 +243,16 @@ def main() -> None:
     tail = bench_tail_reservoir(repeats=1 if args.quick else 3)
     multi = bench_multi_app(seconds=120.0 if args.quick else 300.0,
                             repeats=1 if args.quick else 3)
+    nodes = bench_nodes(pods=1_000 if args.quick else 10_000,
+                        nodes=10 if args.quick else 100,
+                        rollups=5 if args.quick else 20)
 
     out = Path(args.out)
     try:
         payload = json.loads(out.read_text()) if out.exists() else {}
     except json.JSONDecodeError:
         payload = {}
+    tail_before = payload.get("tail_reservoir", {}).get("overhead_x")
     payload["execute_many"] = {
         "benchmark": "ServiceRuntime.execute loop vs execute_many "
                      "(wall seconds per n simulated requests)",
@@ -190,19 +263,24 @@ def main() -> None:
     floor_points = [r for r in results["healthy"] + results["network_loss"]
                     if r["n"] == FLOOR_AT_N]
     entry = {
-        "entry": "multi_app",
-        "description": "multi-app environments: execute_many speedup "
-                       "unchanged, plus co-hosting overhead (one 2-app "
-                       "environment vs two single-app environments at the "
-                       "same total rps, aggregate tier)",
+        "entry": "resource_plane",
+        "description": "resource plane (node capacity, contention "
+                       "rollups, HPA): execute_many floor intact, tail "
+                       "reservoir rebuilt latency-only (before/after "
+                       "overhead when a p99 watch is pending), 10k-pod "
+                       "scheduler + rollup cost in bench_nodes",
         "speedup_at_10k": min(r["speedup"] for r in floor_points),
         "best_speedup": max(r["speedup"]
                             for rs in results.values() for r in rs),
+        "tail_reservoir_overhead_before_x": tail_before,
         "tail_reservoir_overhead_x": tail["overhead_x"],
         "multi_app_overhead_x": multi["overhead_x"],
+        "schedule_s_at_10k_pods": nodes["schedule_s"],
+        "rollup_s_at_10k_pods": nodes["rollup_s"],
     }
     payload["tail_reservoir"] = tail
     payload["multi_app"] = multi
+    payload["bench_nodes"] = nodes
     payload.setdefault("trajectory", []).append(entry)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")

@@ -70,11 +70,28 @@ class App:
     def mongo_services(self) -> list[str]:
         return [s.name for s in self.services.values() if s.kind == "mongodb"]
 
+    #: per-kind (cpu millicores, memory MiB) container requests the chart
+    #: renders — DeathStarBench-chart-flavored sizing: entry points and
+    #: databases ask for more than mid-tier logic or caches
+    RESOURCE_REQUESTS: dict[str, tuple[float, float]] = {
+        "frontend": (200.0, 256.0),
+        "stateless": (100.0, 128.0),
+        "mongodb": (250.0, 512.0),
+        "redis": (100.0, 256.0),
+        "memcached": (100.0, 256.0),
+    }
+
     def chart(self) -> HelmChart:
         return HelmChart(
             name=self.name,
             services=[
-                ChartService(name=s.name, image=s.image, port=s.port)
+                ChartService(
+                    name=s.name, image=s.image, port=s.port,
+                    cpu_request=self.RESOURCE_REQUESTS.get(
+                        s.kind, (100.0, 128.0))[0],
+                    mem_request=self.RESOURCE_REQUESTS.get(
+                        s.kind, (100.0, 128.0))[1],
+                )
                 for s in self.service_specs()
             ],
             default_values=self.default_values(),

@@ -36,6 +36,8 @@ from typing import Optional, Sequence, Type, Union
 
 from repro.apps.base import App
 from repro.kubesim import Cluster, Helm, Kubectl
+from repro.kubesim.controllers import HorizontalAutoscaler, HpaPolicy
+from repro.kubesim.resources import NodeSpec, ResourcePlane
 from repro.simcore import EventQueue, SimClock
 from repro.telemetry import TelemetryCollector, TelemetryExporter
 from repro.workload import ConstantRate, RatePolicy, WorkloadDriver
@@ -94,6 +96,11 @@ class EnvSpec:
     fidelity: str = "per_request"
     resync_interval: float = 30.0
     export_root: Optional[str | Path] = None
+    #: resource-plane knobs (see docs/design/resources.md); the defaults
+    #: leave benchmark environments bit-identical to the seed
+    resource_coupling: bool = False
+    node_specs: Optional[tuple[NodeSpec, ...]] = None
+    autoscale: Optional[tuple[HpaPolicy, ...]] = None
 
     def __post_init__(self) -> None:
         if self.fidelity not in FIDELITY_TIERS:
@@ -127,6 +134,23 @@ class CloudEnvironment:
         controller manager's sync loop.  ``0`` disables it.  On a
         converged cluster a resync is a pure no-op (no RNG draws, no
         events recorded), so it never perturbs determinism.
+    resource_coupling:
+        When True, every runtime is attached to the environment's
+        :class:`~repro.kubesim.resources.ResourcePlane`: request demand
+        rolls up into node utilization, and overcommitted nodes degrade
+        *all* co-located pods (emergent noisy-neighbor, no fault
+        injection needed).  Off by default — the seed execution paths
+        stay bit-identical.
+    node_specs:
+        Cluster topology (:class:`~repro.kubesim.resources.NodeSpec`
+        list).  ``None`` keeps the historical single ``node-0``.
+    autoscale:
+        :class:`~repro.kubesim.controllers.HpaPolicy` list; non-empty
+        activates the :class:`HorizontalAutoscaler` on the resync loop
+        and the resource-plane rollup tick.
+    resource_interval:
+        Rollup cadence (virtual seconds) when the plane is active —
+        matches the 5 s telemetry-scrape cadence by default.
     """
 
     def __init__(
@@ -138,6 +162,10 @@ class CloudEnvironment:
         export_root: Optional[str | Path] = None,
         resync_interval: float = 30.0,
         fidelity: str = "per_request",
+        resource_coupling: bool = False,
+        node_specs: Optional[Sequence[NodeSpec]] = None,
+        autoscale: Optional[Sequence[HpaPolicy]] = None,
+        resource_interval: float = 5.0,
     ) -> None:
         if fidelity not in FIDELITY_TIERS:
             raise ValueError(
@@ -166,8 +194,19 @@ class CloudEnvironment:
         self.fidelity = fidelity
         self.clock = SimClock()
         self.queue = EventQueue(self.clock)
-        self.cluster = Cluster(clock=self.clock, seed=seed)
+        self.cluster = Cluster(clock=self.clock, seed=seed,
+                               node_specs=node_specs)
         self.collector = TelemetryCollector(self.clock, seed=seed)
+        self.resource_coupling = resource_coupling
+        plane_active = bool(resource_coupling or autoscale)
+        self.resources = ResourcePlane(self.cluster, self.clock,
+                                       interval=resource_interval,
+                                       coupled=resource_coupling)
+        self.autoscaler = HorizontalAutoscaler(self.cluster, self.resources)
+        for hpa_policy in (autoscale or ()):
+            self.autoscaler.add(hpa_policy)
+        if autoscale:
+            self.cluster.attach_autoscaler(self.autoscaler)
         # the first app's namespace keeps bare metric names (single-app
         # telemetry stays bit-identical); other namespaces are qualified
         self.collector.default_namespace = namespaces[0]
@@ -181,6 +220,12 @@ class CloudEnvironment:
             runtime = app.deploy(
                 self.cluster, self.collector, helm=self.helm, seed=seed
             )
+            self.resources.register_runtime(runtime)
+            if plane_active:
+                # attached whenever the plane rolls up: demand accounting
+                # feeds the autoscaler even when contention coupling is
+                # off (the uncoupled plane never degrades anything)
+                runtime.resources = self.resources
             driver = WorkloadDriver(
                 runtime,
                 app.workload_mix(),
@@ -205,6 +250,11 @@ class CloudEnvironment:
             log_source=self.collector.kubectl_log_source,
             exec_handler=self._exec_dispatch,
             metrics_source=self.collector.kubectl_metrics_source(self.cluster),
+            # node utilization columns only exist when the plane rolls up
+            # (seed environments keep byte-identical kubectl output)
+            node_metrics_source=(
+                self.resources.kubectl_node_metrics_source()
+                if plane_active else None),
         )
         self._owns_export_root = export_root is None
         root = Path(export_root) if export_root else Path(tempfile.mkdtemp(
@@ -215,7 +265,20 @@ class CloudEnvironment:
             resync_interval, self.cluster.resync, label="controller.resync",
             passive=True,  # a converged-cluster resync can't affect workload
         ) if resync_interval > 0 else None
+        # the plane's rollup tick is only scheduled when something reads
+        # it, so seed environments run an unchanged event sequence; it is
+        # never passive — a rollup can shift latency multipliers or make
+        # the autoscaler rescale, both workload-visible
+        self._rollup = self.queue.schedule_every(
+            resource_interval, self._resource_tick, label="resources.rollup",
+        ) if plane_active and resource_interval > 0 else None
         self.closed = False
+
+    def _resource_tick(self) -> None:
+        """One plane step: roll demand up into node pressure, then give
+        the autoscaler a look at the fresh utilization numbers."""
+        self.resources.rollup()
+        self.autoscaler.evaluate()
 
     @classmethod
     def from_spec(cls, app_cls: Type[App], spec: EnvSpec) -> "CloudEnvironment":
@@ -228,6 +291,9 @@ class CloudEnvironment:
             export_root=spec.export_root,
             resync_interval=spec.resync_interval,
             fidelity=spec.fidelity,
+            resource_coupling=spec.resource_coupling,
+            node_specs=spec.node_specs,
+            autoscale=spec.autoscale,
         )
 
     # ------------------------------------------------------------------
@@ -321,5 +387,7 @@ class CloudEnvironment:
         self.closed = True
         if self._resync is not None:
             self._resync.cancel()
+        if self._rollup is not None:
+            self._rollup.cancel()
         if self._owns_export_root:
             shutil.rmtree(self.export_root, ignore_errors=True)

@@ -62,6 +62,7 @@ from repro.faults.triggers import (
     Trigger,
     as_trigger,
 )
+from repro.simcore import RngStream
 from repro.telemetry.watch import MetricWatch
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -103,6 +104,16 @@ class TimelineEntry:
     (metric-triggered entries only) is the number of firings the entry is
     allowed across watch re-arms — ``1`` is the historical fire-once,
     ``0`` means unlimited (fire at every threshold crossing).
+
+    ``fire_probability`` / ``jitter_s`` (metric-triggered entries only)
+    make repeating entries *flap* probabilistically: each threshold
+    crossing fires with ``fire_probability`` (a skipped crossing still
+    consumes the crossing — the watch re-arms and waits for the next
+    one), and a firing entry's action lands a seeded-uniform
+    ``[0, jitter_s)`` seconds after the crossing.  Both draw from one
+    dedicated ``faults/flap`` stream derived from the environment seed,
+    so a timeline with flapping entries is exactly reproducible and a
+    timeline without them draws nothing new.
     """
 
     trigger: Trigger
@@ -113,6 +124,8 @@ class TimelineEntry:
     tag: str = ""
     namespace: str = ""
     repeat: int = 1
+    fire_probability: float = 1.0
+    jitter_s: float = 0.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "trigger", as_trigger(self.trigger))
@@ -122,6 +135,17 @@ class TimelineEntry:
             raise ValueError(
                 "repeat is only meaningful for metric-triggered entries "
                 f"(got repeat={self.repeat} on {self.trigger.describe()})")
+        if not 0.0 < self.fire_probability <= 1.0:
+            raise ValueError(
+                f"fire_probability must be in (0, 1], "
+                f"got {self.fire_probability}")
+        if self.jitter_s < 0.0:
+            raise ValueError(f"jitter_s must be >= 0, got {self.jitter_s}")
+        if (self.fire_probability != 1.0 or self.jitter_s > 0.0) \
+                and not isinstance(self.trigger, MetricTrigger):
+            raise ValueError(
+                "fire_probability/jitter_s are only meaningful for "
+                f"metric-triggered entries (on {self.trigger.describe()})")
 
     @property
     def at(self) -> Optional[float]:
@@ -200,7 +224,8 @@ class FaultSchedule:
     def when(self, trigger: Trigger, fault: str | int,
              targets: Sequence[str], *, kind: str = "inject",
              tag: str = "", namespace: str = "",
-             repeat: int = 1) -> "FaultSchedule":
+             repeat: int = 1, fire_probability: float = 1.0,
+             jitter_s: float = 0.0) -> "FaultSchedule":
         """Condition-triggered entry: fire ``kind`` when ``trigger`` trips.
 
         Sugar for ``inject``/``recover`` with an explicit trigger — reads
@@ -216,7 +241,9 @@ class FaultSchedule:
         self._check_injectable(fault)
         return self._add(TimelineEntry(trigger, kind, fault, tuple(targets),
                                        tag=tag, namespace=namespace,
-                                       repeat=repeat))
+                                       repeat=repeat,
+                                       fire_probability=fire_probability,
+                                       jitter_s=jitter_s))
 
     def after(self, tag: str, fault: str | int, targets: Sequence[str], *,
               delay: float = 0.0, kind: str = "inject",
@@ -278,7 +305,8 @@ class FaultSchedule:
     def every_crossing(cls, trigger: MetricTrigger, fault: str | int,
                        targets: Sequence[str], *, kind: str = "inject",
                        namespace: str = "", max_fires: int = 0,
-                       tag: str = "") -> "FaultSchedule":
+                       tag: str = "", fire_probability: float = 1.0,
+                       jitter_s: float = 0.0) -> "FaultSchedule":
         """A repeating condition-triggered entry: fire ``kind`` every time
         the threshold is *crossed* (the armed watch re-arms after each
         firing and must see one non-satisfying scrape before it can fire
@@ -286,9 +314,14 @@ class FaultSchedule:
         first schedule shape built on
         :meth:`~repro.telemetry.watch.MetricWatch.rearm` — composed in
         pairs it expresses telemetry-driven inject/recover loops
-        (auto-remediation storylines)."""
+        (auto-remediation storylines).  ``fire_probability`` < 1 makes the
+        loop *flap* — some crossings silently skip — and ``jitter_s``
+        smears each firing's onset by a seeded uniform delay; see
+        :class:`TimelineEntry`."""
         return cls().when(trigger, fault, targets, kind=kind, tag=tag,
-                          namespace=namespace, repeat=max_fires)
+                          namespace=namespace, repeat=max_fires,
+                          fire_probability=fire_probability,
+                          jitter_s=jitter_s)
 
     # -- properties ----------------------------------------------------
     @property
@@ -366,6 +399,13 @@ class ArmedSchedule:
         self.log: list[tuple[float, str]] = []
         #: set by cancel_pending so repeating watches stop re-arming
         self._torn_down = False
+        #: seeded stream for probabilistic flapping (fire_probability /
+        #: jitter_s); created only when an entry opts in, so ordinary
+        #: timelines draw nothing new from any stream
+        self._flap_rng: Optional[RngStream] = RngStream(
+            env.seed, "faults/flap",
+        ) if any(e.fire_probability < 1.0 or e.jitter_s > 0.0
+                 for e in schedule.entries) else None
         for entry in schedule.entries:
             trigger = entry.trigger
             if isinstance(trigger, AtTime):
@@ -480,8 +520,29 @@ class ArmedSchedule:
         re-arm the watch while the repeat budget allows and the schedule
         has not been torn down.  ``rearm`` re-registers with both the
         queue and the collector, and ``require_clear`` makes the next
-        firing wait for a fresh threshold crossing."""
-        self._fire(entry)
+        firing wait for a fresh threshold crossing.
+
+        Probabilistic flapping hooks in here: a crossing is skipped with
+        ``1 - fire_probability`` (it still counts against ``repeat`` and
+        still requires a fresh crossing before the next chance), and a
+        non-zero ``jitter_s`` defers the action by a seeded uniform
+        delay rather than firing at scrape time."""
+        fires = True
+        if entry.fire_probability < 1.0:
+            fires = self._flap_rng.bernoulli(entry.fire_probability)
+        if fires:
+            if entry.jitter_s > 0.0:
+                delay = self._flap_rng.uniform(0.0, entry.jitter_s)
+                self.events.append(self.env.queue.schedule_at(
+                    self.env.clock.now + delay,
+                    lambda e=entry: self._fire(e),
+                    label=f"fault.{entry.kind}.jitter",
+                ))
+            else:
+                self._fire(entry)
+        else:
+            self.log.append((self.env.clock.now,
+                             f"{entry.describe()} (crossing skipped)"))
         if self._torn_down or entry.repeat == 1:
             return
         if entry.repeat == 0 or watch.fire_count < entry.repeat:

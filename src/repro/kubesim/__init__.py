@@ -34,8 +34,16 @@ from repro.kubesim.objects import (
     ClusterEvent,
 )
 from repro.kubesim.cluster import Cluster
+from repro.kubesim.controllers import HorizontalAutoscaler, HpaPolicy
 from repro.kubesim.kubectl import Kubectl
 from repro.kubesim.helm import Helm, HelmChart, HelmRelease
+from repro.kubesim.resources import (
+    NodeSpec,
+    NodeUsage,
+    ResourcePlane,
+    overload_probability,
+    pressure_multiplier,
+)
 
 __all__ = [
     "ObjectMeta",
@@ -56,4 +64,11 @@ __all__ = [
     "Helm",
     "HelmChart",
     "HelmRelease",
+    "HorizontalAutoscaler",
+    "HpaPolicy",
+    "NodeSpec",
+    "NodeUsage",
+    "ResourcePlane",
+    "overload_probability",
+    "pressure_multiplier",
 ]

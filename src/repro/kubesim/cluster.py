@@ -108,9 +108,14 @@ class Cluster:
         Shared simulation clock; object creation times and events use it.
     seed:
         Root seed for pod-name suffixes and IP assignment.
+    node_specs:
+        Optional iterable of :class:`~repro.kubesim.resources.NodeSpec`
+        shaping the initial node pool.  ``None`` keeps the historical
+        default: one ``node-0`` with default capacities.
     """
 
-    def __init__(self, clock: Optional[SimClock] = None, seed: int = 0) -> None:
+    def __init__(self, clock: Optional[SimClock] = None, seed: int = 0,
+                 node_specs=None) -> None:
         self.clock = clock or SimClock()
         self.rng = RngStream(seed, "kubesim")
         self._uid_counter = itertools.count(1)
@@ -129,6 +134,8 @@ class Cluster:
         self._scheduler = Scheduler(self)
         self._deploy_ctrl = DeploymentController(self)
         self._endpoints_ctrl = EndpointsController(self)
+        #: autoscalers evaluated on every resync (see attach_autoscaler)
+        self.autoscalers: list = []
         #: monotonic mutation counter: bumped by every mutating CRUD
         #: method *and* by every ``reconcile()`` run, so derived caches
         #: (path profiles, log pod attribution) can fingerprint cluster
@@ -153,7 +160,14 @@ class Cluster:
         self._services_views: tuple[int, dict[str, list[Service]]] = (-1, {})
 
         # Default control-plane node so a fresh cluster is schedulable.
-        self.add_node("node-0")
+        if node_specs is None:
+            self.add_node("node-0")
+        else:
+            for spec in node_specs:
+                self.add_node(spec.name, dict(spec.labels) or None,
+                              cpu_capacity=spec.cpu_capacity,
+                              mem_capacity=spec.mem_capacity,
+                              capacity_pods=spec.capacity_pods)
 
     # ------------------------------------------------------------------
     # bookkeeping helpers
@@ -244,9 +258,14 @@ class Cluster:
         if name not in self.namespaces:
             raise ResourceNotFound("Namespace", name)
 
-    def add_node(self, name: str, labels: Optional[dict[str, str]] = None) -> Node:
+    def add_node(self, name: str, labels: Optional[dict[str, str]] = None,
+                 *, cpu_capacity: float = 32000.0,
+                 mem_capacity: float = 65536.0,
+                 capacity_pods: int = 110) -> Node:
         self._mark_dirty()
-        node = Node(meta=ObjectMeta(name=name, namespace=""), labels=labels or {})
+        node = Node(meta=ObjectMeta(name=name, namespace=""),
+                    labels=labels or {}, cpu_capacity=cpu_capacity,
+                    mem_capacity=mem_capacity, capacity_pods=capacity_pods)
         self.nodes[name] = node
         return node
 
@@ -470,14 +489,23 @@ class Cluster:
                 break
         self._dirty = False
 
+    def attach_autoscaler(self, autoscaler) -> None:
+        """Register a :class:`~repro.kubesim.controllers.
+        HorizontalAutoscaler` for evaluation on every :meth:`resync`."""
+        if autoscaler not in self.autoscalers:
+            self.autoscalers.append(autoscaler)
+
     def resync(self) -> None:
         """Periodic controller sync (the controller-manager's resync loop).
 
-        Every mutating CRUD method reconciles eagerly, so a converged
-        cluster has nothing to do here — this is an O(1) no-op unless a
-        mutation was made without a follow-up :meth:`reconcile` (the
-        ``_dirty`` flag tracks that).  Scheduled as a recurring event by
-        :class:`~repro.core.env.CloudEnvironment`.
+        Autoscalers evaluate first (they may scale deployments, which
+        reconciles eagerly); then, every mutating CRUD method reconciles
+        eagerly, so a converged cluster has nothing left to do — an O(1)
+        no-op unless a mutation was made without a follow-up
+        :meth:`reconcile` (the ``_dirty`` flag tracks that).  Scheduled
+        as a recurring event by :class:`~repro.core.env.CloudEnvironment`.
         """
+        for autoscaler in self.autoscalers:
+            autoscaler.evaluate()
         if self._dirty:
             self.reconcile()

@@ -1,7 +1,10 @@
-"""Reconciling controllers: deployments → pods, services → endpoints."""
+"""Reconciling controllers: deployments → pods, services → endpoints —
+plus the :class:`HorizontalAutoscaler` driven by the resource plane."""
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.kubesim.objects import (
@@ -14,6 +17,7 @@ from repro.kubesim.objects import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kubesim.cluster import Cluster
+    from repro.kubesim.resources import ResourcePlane
 
 
 class DeploymentController:
@@ -139,3 +143,111 @@ class EndpointsController:
             del self.cluster.endpoints[key]
             changed = True
         return changed
+
+
+@dataclass
+class HpaPolicy:
+    """One autoscaler target: a deployment plus its scaling parameters.
+
+    ``target_utilization`` is per-replica CPU demand as a fraction of the
+    pod's CPU request (the k8s ``averageUtilization`` metric, as a
+    fraction rather than a percent).  ``tolerance`` is the k8s
+    ``--horizontal-pod-autoscaler-tolerance`` dead band: no action while
+    ``|utilization/target − 1| <= tolerance``.  Scale-ups apply
+    immediately; scale-downs wait out ``scale_down_stabilization_s`` of
+    continuously-low utilization first (the k8s stabilization window,
+    which is what damps flapping workloads — scenarios shrink it to
+    *induce* thrash).
+    """
+
+    namespace: str
+    deployment: str
+    target_utilization: float = 0.7
+    min_replicas: int = 1
+    max_replicas: int = 8
+    tolerance: float = 0.1
+    scale_down_stabilization_s: float = 60.0
+
+
+class HorizontalAutoscaler:
+    """HPA-style controller scaling deployments on rolled-up utilization.
+
+    Evaluated from the cluster's resync loop and after every resource-
+    plane rollup.  Draws no randomness and mutates only through
+    ``Cluster.scale_deployment``, so an environment with no targets is
+    bit-identical to one without the controller at all.
+
+    The desired-replica formula is the real HPA's:
+    ``desired = ceil(current × utilization / target)`` — scale-invariant
+    because per-replica utilization already divides by ``current``.
+    """
+
+    def __init__(self, cluster: "Cluster", plane: "ResourcePlane") -> None:
+        self.cluster = cluster
+        self.plane = plane
+        self.policies: list[HpaPolicy] = []
+        #: policy index -> clock time its utilization first went low
+        self._below_since: dict[int, float] = {}
+        #: (time, namespace, deployment, old, new) scaling decisions
+        self.log: list[tuple[float, str, str, int, int]] = []
+
+    def add(self, policy: HpaPolicy) -> HpaPolicy:
+        self.policies.append(policy)
+        return policy
+
+    def _desired(self, policy: HpaPolicy, current: int,
+                 utilization: float) -> int:
+        desired = math.ceil(current * utilization / policy.target_utilization)
+        return max(policy.min_replicas, min(policy.max_replicas, desired))
+
+    def evaluate(self) -> None:
+        now = self.cluster.clock.now
+        for i, policy in enumerate(self.policies):
+            dep = self.cluster.deployments.get(
+                (policy.namespace, policy.deployment))
+            if dep is None or dep.replicas <= 0:
+                # manually scaled to zero (or deleted): stand down rather
+                # than fight an operator/fault that zeroed the deployment
+                self._below_since.pop(i, None)
+                continue
+            current = dep.replicas
+            utilization = self.plane.utilization_of(
+                policy.namespace, policy.deployment, current)
+            desired = self._desired(policy, current, utilization)
+            if desired == current or (
+                policy.target_utilization > 0.0
+                and abs(utilization / policy.target_utilization - 1.0)
+                <= policy.tolerance
+            ):
+                if desired >= current:
+                    self._below_since.pop(i, None)
+                continue
+            if desired > current:
+                self._below_since.pop(i, None)
+                self._rescale(policy, dep, desired, utilization, up=True)
+                continue
+            # scale down: wait out the stabilization window first
+            since = self._below_since.get(i)
+            if since is None:
+                self._below_since[i] = now
+                continue
+            if now - since >= policy.scale_down_stabilization_s:
+                self._below_since.pop(i, None)
+                self._rescale(policy, dep, desired, utilization, up=False)
+
+    def _rescale(self, policy: HpaPolicy, dep, desired: int,
+                 utilization: float, up: bool) -> None:
+        old = dep.replicas
+        direction = "above" if up else "below"
+        self.cluster.record_event(
+            policy.namespace, "HorizontalPodAutoscaler", policy.deployment,
+            "SuccessfulRescale",
+            f"New size: {desired}; reason: cpu resource utilization "
+            f"(percentage of request) {direction} target "
+            f"({int(round(100 * utilization))}% vs "
+            f"{int(round(100 * policy.target_utilization))}%)",
+        )
+        self.cluster.scale_deployment(policy.namespace, policy.deployment,
+                                      desired)
+        self.log.append((self.cluster.clock.now, policy.namespace,
+                         policy.deployment, old, desired))

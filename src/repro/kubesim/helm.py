@@ -29,7 +29,13 @@ from repro.kubesim.objects import (
 
 @dataclass
 class ChartService:
-    """One microservice entry in a chart: a deployment plus its service."""
+    """One microservice entry in a chart: a deployment plus its service.
+
+    ``cpu_request`` (millicores) / ``mem_request`` (MiB) become the
+    rendered container's resource requests — what the scheduler bin-packs
+    on and what the HPA divides demand by.  The defaults mirror the
+    DeathStarBench charts' modest requests (100m / 128Mi).
+    """
 
     name: str
     image: str
@@ -37,6 +43,8 @@ class ChartService:
     replicas: int = 1
     env: dict[str, str] = field(default_factory=dict)
     labels: dict[str, str] = field(default_factory=dict)
+    cpu_request: float = 100.0
+    mem_request: float = 128.0
 
 
 @dataclass
@@ -143,6 +151,8 @@ class Helm:
                             image=svc.image,
                             ports=[ContainerPort(container_port=svc.port)],
                             env=dict(svc.env),
+                            cpu_request=svc.cpu_request,
+                            mem_request=svc.mem_request,
                         )
                     ],
                 ),

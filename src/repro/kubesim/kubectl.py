@@ -19,6 +19,8 @@ from repro.kubesim.objects import Deployment
 LogSource = Callable[[str, str, int], str]
 ExecHandler = Callable[[str, str, list[str]], str]
 MetricsSource = Callable[[str], list[tuple[str, float, float]]]
+#: () -> [(node, used mcores, cpu %, requested MiB, mem %, pods)]
+NodeMetricsSource = Callable[[], list[tuple[str, float, float, float, float, int]]]
 
 
 def format_age(seconds: float) -> str:
@@ -63,6 +65,10 @@ class Kubectl:
     metrics_source:
         Optional callback ``(namespace) -> [(pod, cpu_mcores, mem_mib)]``
         backing ``kubectl top pods``.
+    node_metrics_source:
+        Optional callback returning per-node utilization rows (wired to
+        the resource plane's rollup).  When present, ``kubectl top
+        nodes`` works and ``get nodes`` grows CPU%/MEM%/PODS columns.
     """
 
     def __init__(
@@ -71,11 +77,13 @@ class Kubectl:
         log_source: Optional[LogSource] = None,
         exec_handler: Optional[ExecHandler] = None,
         metrics_source: Optional[MetricsSource] = None,
+        node_metrics_source: Optional[NodeMetricsSource] = None,
     ) -> None:
         self.cluster = cluster
         self.log_source = log_source
         self.exec_handler = exec_handler
         self.metrics_source = metrics_source
+        self.node_metrics_source = node_metrics_source
 
     # ------------------------------------------------------------------
     # entry point
@@ -293,12 +301,22 @@ class Kubectl:
 
     def _get_nodes(self) -> str:
         now = self.cluster.clock.now
+        headers = ["NAME", "STATUS", "ROLES", "AGE", "VERSION"]
         rows = [
             [n.name, "Ready" if n.ready else "NotReady", "<none>",
              format_age(now - n.meta.creation_time), "v1.29.0-sim"]
             for n in sorted(self.cluster.nodes.values(), key=lambda n: n.name)
         ]
-        return _tabulate(["NAME", "STATUS", "ROLES", "AGE", "VERSION"], rows)
+        if self.node_metrics_source is not None:
+            # utilization-aware columns, only when the resource plane is
+            # wired in (seed environments keep byte-identical output)
+            headers += ["CPU%", "MEM%", "PODS"]
+            usage = {u[0]: u for u in self.node_metrics_source()}
+            for row in rows:
+                u = usage.get(row[0])
+                row += ([f"{u[2]:.0f}%", f"{u[4]:.0f}%", str(u[5])]
+                        if u else ["<unknown>", "<unknown>", "0"])
+        return _tabulate(headers, rows)
 
     def _get_configmaps(self, ns: str, rest: list[str]) -> str:
         self.cluster.require_namespace(ns)
@@ -471,8 +489,10 @@ class Kubectl:
     def _cmd_top(self, args: list[str]) -> str:
         args = list(args)
         ns = self._namespace(args)
+        if args and args[0] in ("node", "nodes", "no"):
+            return self._top_nodes()
         if not args or args[0] not in ("pod", "pods", "po"):
-            return "error: top supports 'top pods'"
+            return "error: top supports 'top pods' and 'top nodes'"
         if self.metrics_source is None:
             return "error: Metrics API not available"
         rows = [
@@ -482,6 +502,19 @@ class Kubectl:
         if not rows:
             return f"No resources found in {ns} namespace."
         return _tabulate(["NAME", "CPU(cores)", "MEMORY(bytes)"], rows)
+
+    def _top_nodes(self) -> str:
+        if self.node_metrics_source is None:
+            return "error: Metrics API not available"
+        rows = [
+            [name, f"{int(cpu)}m", f"{pct:.0f}%", f"{int(mem)}Mi",
+             f"{mem_pct:.0f}%", str(pods)]
+            for name, cpu, pct, mem, mem_pct, pods
+            in self.node_metrics_source()
+        ]
+        return _tabulate(
+            ["NAME", "CPU(cores)", "CPU%", "MEMORY(bytes)", "MEMORY%",
+             "PODS"], rows)
 
     # ------------------------------------------------------------------
     # mutations

@@ -34,13 +34,20 @@ class ContainerPort:
 
 @dataclass
 class Container:
-    """A container spec inside a pod template or pod."""
+    """A container spec inside a pod template or pod.
+
+    ``cpu_request`` is in millicores, ``mem_request`` in MiB (the only
+    resource units this simulator uses); ``0.0`` means best-effort — the
+    scheduler then bin-packs the container as weightless.
+    """
 
     name: str
     image: str
     ports: list[ContainerPort] = field(default_factory=list)
     env: dict[str, str] = field(default_factory=dict)
     command: list[str] = field(default_factory=list)
+    cpu_request: float = 0.0
+    mem_request: float = 0.0
 
     def has_port(self, port: int) -> bool:
         return any(p.container_port == port for p in self.ports)
@@ -101,6 +108,14 @@ class Pod:
         ready = total if self.ready else 0
         return f"{ready}/{total}"
 
+    def cpu_request(self) -> float:
+        """Requested millicores across containers (0 = best-effort)."""
+        return sum(c.cpu_request for c in self.containers)
+
+    def mem_request(self) -> float:
+        """Requested MiB across containers (0 = best-effort)."""
+        return sum(c.mem_request for c in self.containers)
+
 
 @dataclass
 class PodTemplate:
@@ -119,6 +134,8 @@ class PodTemplate:
                 ports=[ContainerPort(p.container_port, p.name, p.protocol) for p in c.ports],
                 env=dict(c.env),
                 command=list(c.command),
+                cpu_request=c.cpu_request,
+                mem_request=c.mem_request,
             )
             for c in self.containers
         ]
@@ -196,12 +213,20 @@ class Endpoints:
 
 @dataclass
 class Node:
-    """A worker node."""
+    """A worker node with allocatable CPU/memory capacity.
+
+    ``cpu_capacity`` is in millicores, ``mem_capacity`` in MiB — the
+    defaults model a 32-core / 64 GiB worker, large enough that every
+    historical single-node deployment fits without the scheduler ever
+    rejecting a pod (which keeps seed behavior intact).
+    """
 
     meta: ObjectMeta
     capacity_pods: int = 110
     ready: bool = True
     labels: dict[str, str] = field(default_factory=dict)
+    cpu_capacity: float = 32000.0
+    mem_capacity: float = 65536.0
 
     @property
     def name(self) -> str:

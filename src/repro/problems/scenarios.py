@@ -23,7 +23,13 @@ works:
   neighbor, shared-backend contention cascades, and a telemetry-driven
   cross-app **auto-remediation loop** built on repeating triggers
   (:meth:`~repro.faults.schedule.FaultSchedule.every_crossing` /
-  :meth:`~repro.telemetry.watch.MetricWatch.rearm`).
+  :meth:`~repro.telemetry.watch.MetricWatch.rearm`);
+* **resource-plane** — incidents with *no injected fault at all*: the
+  :class:`~repro.kubesim.resources.ResourcePlane` makes co-tenancy
+  physical, so an overcommitted node degrades its tenants emergently,
+  and the :class:`~repro.kubesim.controllers.HorizontalAutoscaler`
+  reacts to (or thrashes on, or exhausts node capacity chasing) real
+  demand — the timeline is empty and the machines are the incident.
 
 Scenarios span both applications (HotelReservation and SocialNetwork),
 singly and co-hosted.  They are registered behind
@@ -46,6 +52,7 @@ from repro.core.problem import (
 )
 from repro.faults.schedule import ArmedSchedule, FaultSchedule
 from repro.faults.triggers import MetricAbove
+from repro.kubesim import HpaPolicy, NodeSpec
 from repro.workload.policies import BurstRate, RatePolicy, SpikeRate
 
 #: the two hosted namespaces, named once (multi-app scenario wiring)
@@ -557,6 +564,229 @@ class HighRateNoisyNeighborDetection(NoisyNeighborDetection):
     storm_threshold = 1500.0
 
 
+# ---------------------------------------------------------------------------
+# Resource-plane scenarios: node capacity, emergent contention, autoscaling.
+# None of these injects a fault — build_schedule() is empty and the incident
+# (or its absence) emerges from demand meeting finite machines.
+# ---------------------------------------------------------------------------
+
+class EmergentNoisyNeighborDetection(MultiAppScheduledProblem, DetectionTask):
+    """Noisy neighbor from first principles: both applications share one
+    deliberately small node with ``resource_coupling=True`` and **no fault
+    is ever injected**.  When the co-hosted SocialNetwork's storm (an
+    aggregate-tier burst policy) pushes the node past the resource plane's
+    70 % pressure knee, *every* co-located pod — the hotel frontend
+    included — sees its latency inflate, and past 90 % the node sheds
+    hotel RPCs with ``ResourceExhausted``.  Between storms the node cools
+    below the knee and the hotel is healthy again.  Detection ground truth
+    is "yes": the interference is real, even though ``kubectl describe``
+    of every hotel object looks clean — only ``kubectl top nodes`` and the
+    co-tenant's traffic give it away."""
+
+    node_cpu_mcores = 8000.0
+    neighbor_base = 150.0
+    neighbor_factor = 4.0
+    neighbor_interval = 45.0
+    neighbor_duration = 15.0
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="frontend",
+                         app_name="HotelReservation", pid=pid, expected="yes",
+                         fidelity=fidelity)
+
+    def app_specs(self) -> list[AppSpec]:
+        return [
+            AppSpec(HotelReservation, workload_rate=self.workload_rate),
+            AppSpec(SocialNetwork, policy=BurstRate(
+                base=self.neighbor_base, burst_factor=self.neighbor_factor,
+                interval=self.neighbor_interval,
+                burst_duration=self.neighbor_duration),
+                fidelity="aggregate"),
+        ]
+
+    def create_environment(self, seed: int = 0) -> CloudEnvironment:
+        return CloudEnvironment(
+            self.app_specs(), seed=seed, fidelity=self.fidelity,
+            resource_coupling=True,
+            node_specs=(NodeSpec("node-0",
+                                 cpu_capacity=self.node_cpu_mcores),),
+        )
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule()  # nothing injected — contention is emergent
+
+
+class HpaSpikeRecoveryDetection(ScheduledFaultProblem, DetectionTask):
+    """A traffic spike the autoscaler absorbs: the hotel frontend's HPA
+    (target 50 % of its 200 m request) sees the 3× spike land at t=40,
+    scales 1 → 3 replicas within a rollup or two, then — after the spike
+    ends and utilization stays low through the stabilization window —
+    scales back down to 1 mid-session.  No fault, no degradation the
+    system didn't handle: detection ground truth is "no", and the
+    ``SuccessfulRescale`` events are the breadcrumbs a careful agent reads
+    to conclude the excitement is over."""
+
+    spike_at = 40.0
+    spike_duration = 40.0
+    spike_factor = 3.0
+    hpa_target = 0.5
+    hpa_max = 5
+    hpa_stabilization_s = 30.0
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="frontend",
+                         app_name="HotelReservation", pid=pid, expected="no",
+                         fidelity=fidelity)
+
+    def rate_policy(self) -> RatePolicy:
+        return SpikeRate(base=self.workload_rate,
+                         spike_factor=self.spike_factor,
+                         at=self.spike_at, duration=self.spike_duration)
+
+    def autoscale_policies(self) -> tuple[HpaPolicy, ...]:
+        return (HpaPolicy(
+            namespace=HOTEL_NS, deployment=self.target,
+            target_utilization=self.hpa_target, max_replicas=self.hpa_max,
+            scale_down_stabilization_s=self.hpa_stabilization_s),)
+
+    def env_spec(self, seed: int = 0) -> EnvSpec:
+        return EnvSpec(seed=seed, workload_rate=self.workload_rate,
+                       fidelity=self.fidelity, policy=self.rate_policy(),
+                       autoscale=self.autoscale_policies())
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule()
+
+
+class AutoscalerThrashDetection(HpaSpikeRecoveryDetection):
+    """A misconfigured autoscaler as the incident: the stabilization
+    window is shorter than the workload's burst cycle, so every burst
+    scales the frontend up and every trough scales it straight back down
+    — the deployment's replica count flaps for the whole session (a
+    stream of ``SuccessfulRescale`` events alternating direction).
+    Detection ground truth is "yes": replica thrash *is* the operational
+    anomaly, even though each individual scaling decision looks locally
+    reasonable."""
+
+    burst_factor = 3.0
+    burst_interval = 40.0
+    burst_duration = 15.0
+    hpa_stabilization_s = 10.0
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(pid=pid, fidelity=fidelity)
+        self.ans = "yes"
+
+    def rate_policy(self) -> RatePolicy:
+        return BurstRate(base=self.workload_rate,
+                         burst_factor=self.burst_factor,
+                         interval=self.burst_interval,
+                         burst_duration=self.burst_duration)
+
+
+class CapacityExhaustionLocalization(ScheduledFaultProblem,
+                                     LocalizationTask):
+    """The autoscaler runs out of machine: a long 3× spike drives the
+    frontend's HPA to want 3 replicas, but the single node was sized with
+    barely any headroom over the chart's aggregate CPU requests — the
+    second new pod finds ``Insufficient cpu`` and stays ``Pending``
+    (a ``FailedScheduling`` event) for as long as the spike lasts.
+    Localize the service whose pods are stuck: the frontend."""
+
+    node_cpu_mcores = 3000.0
+    spike_at = 40.0
+    spike_duration = 150.0
+    spike_factor = 3.0
+    hpa_target = 0.5
+    hpa_max = 5
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="frontend",
+                         app_name="HotelReservation", pid=pid,
+                         fidelity=fidelity)
+
+    def rate_policy(self) -> RatePolicy:
+        return SpikeRate(base=self.workload_rate,
+                         spike_factor=self.spike_factor,
+                         at=self.spike_at, duration=self.spike_duration)
+
+    def env_spec(self, seed: int = 0) -> EnvSpec:
+        return EnvSpec(
+            seed=seed, workload_rate=self.workload_rate,
+            fidelity=self.fidelity, policy=self.rate_policy(),
+            node_specs=(NodeSpec("node-0",
+                                 cpu_capacity=self.node_cpu_mcores),),
+            autoscale=(HpaPolicy(
+                namespace=HOTEL_NS, deployment=self.target,
+                target_utilization=self.hpa_target,
+                max_replicas=self.hpa_max),))
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule()
+
+
+class ScaleUpRaceDetection(MultiAppScheduledProblem, DetectionTask):
+    """Two autoscalers race for one node's remaining capacity: both
+    tenants' frontends have HPAs, both see load rise at once (the hotel's
+    spike and the neighbor's burst overlap), and the node's headroom only
+    fits part of the combined scale-up — whichever rollup asks second
+    leaves pods ``Pending`` with ``Insufficient cpu``.  With coupling on,
+    the combined demand also pushes the node through the pressure knee
+    while the race is unresolved.  Detection ground truth is "yes"."""
+
+    node_cpu_mcores = 7000.0
+    spike_at = 40.0
+    spike_duration = 90.0
+    spike_factor = 3.0
+    neighbor_base = 60.0
+    neighbor_factor = 3.0
+    neighbor_interval = 45.0
+    neighbor_duration = 20.0
+    hpa_target = 0.5
+    hpa_max = 4
+
+    def __init__(self, pid: Optional[str] = None,
+                 fidelity: Optional[str] = None) -> None:
+        super().__init__(None, target="frontend",
+                         app_name="HotelReservation", pid=pid, expected="yes",
+                         fidelity=fidelity)
+
+    def app_specs(self) -> list[AppSpec]:
+        return [
+            AppSpec(HotelReservation, policy=SpikeRate(
+                base=self.workload_rate, spike_factor=self.spike_factor,
+                at=self.spike_at, duration=self.spike_duration)),
+            AppSpec(SocialNetwork, policy=BurstRate(
+                base=self.neighbor_base, burst_factor=self.neighbor_factor,
+                interval=self.neighbor_interval,
+                burst_duration=self.neighbor_duration)),
+        ]
+
+    def create_environment(self, seed: int = 0) -> CloudEnvironment:
+        return CloudEnvironment(
+            self.app_specs(), seed=seed, fidelity=self.fidelity,
+            resource_coupling=True,
+            node_specs=(NodeSpec("node-0",
+                                 cpu_capacity=self.node_cpu_mcores),),
+            autoscale=(
+                HpaPolicy(namespace=HOTEL_NS, deployment="frontend",
+                          target_utilization=self.hpa_target,
+                          max_replicas=self.hpa_max),
+                HpaPolicy(namespace=SOCIAL_NS,
+                          deployment="nginx-web-server",
+                          target_utilization=self.hpa_target,
+                          max_replicas=self.hpa_max),
+            ),
+        )
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule()
+
+
 #: pid -> factory, in presentation order
 SCENARIO_FACTORIES: dict[str, Callable[[], Problem]] = {
     pid: (lambda cls=cls, pid=pid: cls(pid=pid))
@@ -603,5 +833,16 @@ SCENARIO_FACTORIES: dict[str, Callable[[], Problem]] = {
             CrossAppRemediationDetection,
         "highrate_noisy_neighbor_multi_hotel_res-detection-1":
             HighRateNoisyNeighborDetection,
+        # resource plane (node capacity, emergent contention, autoscaling)
+        "emergent_contention_multi_hotel_res-detection-1":
+            EmergentNoisyNeighborDetection,
+        "hpa_spike_recovery_hotel_res-detection-1":
+            HpaSpikeRecoveryDetection,
+        "autoscaler_thrash_hotel_res-detection-1":
+            AutoscalerThrashDetection,
+        "capacity_exhaustion_hotel_res-localization-1":
+            CapacityExhaustionLocalization,
+        "scale_up_race_multi_hotel_res-detection-1":
+            ScaleUpRaceDetection,
     }.items()
 }

@@ -23,6 +23,7 @@ class RpcErrorKind(str, enum.Enum):
     APP_BUG = "app_bug"
     UNAVAILABLE = "unavailable"
     INTERNAL = "internal"
+    RESOURCE_EXHAUSTED = "resource_exhausted"
 
 
 @dataclass
@@ -107,6 +108,15 @@ def app_bug(service: str, image: str) -> RpcError:
         service,
         f"panic: failed to initialize connection pool: invalid connection URI "
         f"(image {image}): malformed host string",
+    )
+
+
+def resource_exhausted(service: str) -> RpcError:
+    return RpcError(
+        RpcErrorKind.RESOURCE_EXHAUSTED,
+        service,
+        f'rpc error: code = ResourceExhausted desc = "{service}" overloaded: '
+        f"node CPU pressure, request shed by server",
     )
 
 

@@ -45,6 +45,17 @@ class Microservice:
         if not self.image:
             self.image = f"deathstarbench/{self.name}:latest"
 
+    @property
+    def busy_mcores_per_rps(self) -> float:
+        """CPU demand (millicores) one request/second of load adds.
+
+        The resource plane's first-principles demand model: a request that
+        keeps the service busy for ``base_latency_ms`` milliseconds holds
+        one core for that fraction of each second, i.e. ``base_latency_ms``
+        millicores per rps.
+        """
+        return self.base_latency_ms
+
 
 @dataclass
 class CallEdge:

@@ -230,6 +230,16 @@ def _enter(rt: "ServiceRuntime", op: Operation, svc: Microservice,
             branch.prob *= (1.0 - p)
             if branch.prob <= 0.0:  # p == 1: no surviving path
                 return None, failures
+        p_over = rt._overload_p(edge.callee)
+        if p_over > 0:
+            shed = branch.clone()
+            shed.prob *= p_over
+            _fail_edge(shed, op, edge, svc.name, idx,
+                       err.resource_exhausted(edge.callee))
+            failures.append(shed)
+            branch.prob *= (1.0 - p_over)
+            if branch.prob <= 0.0:
+                return None, failures
         reach_err = rt._check_reachable(callee)
         if reach_err is not None:
             _fail_edge(branch, op, edge, svc.name, idx, reach_err)

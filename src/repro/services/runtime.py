@@ -123,6 +123,9 @@ class ServiceRuntime:
         self.rng = RngStream(seed, f"runtime/{namespace}")
         #: chaos state: callee service -> packet drop probability
         self.network_loss: dict[str, float] = {}
+        #: the environment's ResourcePlane when resource coupling is on;
+        #: None (the default) leaves every path bit-identical to the seed
+        self.resources = None
         #: dedicated stream for the aggregate path, derived from the seed
         #: (not from the per-request generator's state), so batch results
         #: are deterministic in (seed, n) regardless of interleaved
@@ -186,25 +189,44 @@ class ServiceRuntime:
             self.namespace, service, self._pod_for(service), level, message
         )
 
+    def _mult(self, svc: Microservice) -> float:
+        """Effective latency multiplier from node CPU pressure (1.0 when
+        resource coupling is off — no plane attached)."""
+        if self.resources is None:
+            return 1.0
+        return self.resources.multiplier_for(self.namespace, svc.name)
+
+    def _overload_p(self, service: str) -> float:
+        """Per-hop ``ResourceExhausted`` shed probability (0.0 off-plane)."""
+        if self.resources is None:
+            return 0.0
+        return self.resources.overload_p(self.namespace, service)
+
+    def _account(self, service: str, count: int = 1) -> None:
+        """Push offered demand to the resource plane (no-op off-plane)."""
+        if self.resources is not None:
+            self.resources.account(self.namespace, service, count)
+
     def _latency(self, svc: Microservice) -> float:
-        mean_log = math.log(max(svc.base_latency_ms, 0.1))
+        mean_log = math.log(max(svc.base_latency_ms * self._mult(svc), 0.1))
         return self.rng.lognormal(mean_log, svc.latency_sigma)
 
     def _latency_from(self, rng: RngStream, svc: Microservice) -> float:
         """One service-time draw from an explicit stream (the batch path)."""
-        mean_log = math.log(max(svc.base_latency_ms, 0.1))
+        mean_log = math.log(max(svc.base_latency_ms * self._mult(svc), 0.1))
         return rng.lognormal(mean_log, svc.latency_sigma)
 
     def _latency_moments(self, svc: Microservice) -> tuple[float, float]:
         """(mean, variance) of the service's lognormal hop time.
 
-        Keyed on the parameters themselves, so an in-place change to a
-        service's latency profile (a future slow-service fault) can never
-        serve stale moments."""
-        key = (svc.name, svc.base_latency_ms, svc.latency_sigma)
+        Keyed on the parameters themselves (pressure multiplier included),
+        so an in-place change to a service's latency profile or a plane
+        rollup can never serve stale moments."""
+        m = self._mult(svc)
+        key = (svc.name, svc.base_latency_ms, svc.latency_sigma, m)
         cached = self._latency_moments_cache.get(key)
         if cached is None:
-            mu = math.log(max(svc.base_latency_ms, 0.1))
+            mu = math.log(max(svc.base_latency_ms * m, 0.1))
             sigma2 = svc.latency_sigma ** 2
             mean = math.exp(mu + sigma2 / 2.0)
             var = (math.exp(sigma2) - 1.0) * math.exp(2.0 * mu + sigma2)
@@ -219,6 +241,15 @@ class ServiceRuntime:
         p = self.network_loss.get(callee, 0.0)
         if p > 0 and self.rng.bernoulli(p):
             return err.network_drop(callee)
+        return None
+
+    def _check_overload(self, callee: Microservice) -> Optional[RpcError]:
+        """Node-pressure load shedding: a hop into a pod on a node past
+        the overload knee fails with ``ResourceExhausted``.  Guarded so
+        the common (unloaded / coupling-off) case draws no RNG."""
+        p = self._overload_p(callee.name)
+        if p > 0 and self.rng.bernoulli(p):
+            return err.resource_exhausted(callee.name)
         return None
 
     def _check_reachable(self, callee: Microservice) -> Optional[RpcError]:
@@ -284,6 +315,7 @@ class ServiceRuntime:
             trace.spans.append(span)
             self.collector.record_trace(trace)
             self.collector.record_request(self._q(entry.name), 1.0, error=True)
+            self._account(entry.name)
             return RequestResult(op.name, False, 1.0, root_error,
                                  trace.trace_id, [entry.name])
 
@@ -350,6 +382,8 @@ class ServiceRuntime:
                     continue
                 hop_err = self._check_network(svc.name, edge.callee)
                 if hop_err is None:
+                    hop_err = self._check_overload(callee)
+                if hop_err is None:
                     hop_err = self._check_reachable(callee)
                 if hop_err is not None:
                     child_span = Span(
@@ -362,6 +396,7 @@ class ServiceRuntime:
                     trace.spans.append(child_span)
                     self.collector.record_request(self._q(callee.name), 0.5,
                                                   error=True)
+                    self._account(callee.name)
                     failure = hop_err
                 else:
                     child_latency, child_err = self._run_service(
@@ -392,6 +427,7 @@ class ServiceRuntime:
             span.error_message = failure.message
         self.collector.record_request(self._q(svc.name), total,
                                       error=failure is not None)
+        self._account(svc.name)
         return total, failure
 
     # ------------------------------------------------------------------
@@ -477,6 +513,13 @@ class ServiceRuntime:
             creds,
             images,
             latencies,
+            # resource-plane regime: node placement changes already flow
+            # through the versions above (reconcile bumps them); this
+            # catches rollups that shift any quantized multiplier / shed
+            # probability in this namespace.  Constant 0 when coupling is
+            # off, so seed profile keys are unchanged.
+            0 if self.resources is None
+            else self.resources.fingerprint(self.namespace),
         )
 
     def _profile_for(self, op: Operation) -> PathProfile:
@@ -532,6 +575,38 @@ class ServiceRuntime:
         result = RequestResult(
             op.name, outcome.ok, durations[0], outcome.error,
             trace.trace_id, list(outcome.error_services),
+        )
+        return result, per_service
+
+    def _sample_tail(
+        self, op: Operation, outcome: Outcome, rng: RngStream,
+    ) -> tuple[RequestResult, dict[str, list[float]]]:
+        """Latency-only exemplar for the grown tail reservoir.
+
+        Draws the *same* per-span lognormals as :meth:`_sample_exemplar`
+        (identical RNG sequence, so batch results don't shift when the
+        reservoir grows) but skips Trace/Span construction and the trace
+        store entirely — that was ~3.3× overhead per execute_many call
+        when a p99 watch was pending, for objects nothing read: the tail
+        watch only consumes the latency samples.
+        """
+        spans = outcome.spans
+        durations = [0.0] * len(spans)
+        for i, sn in enumerate(spans):
+            if sn.entered:
+                durations[i] = self._latency_from(rng, self.services[sn.service])
+            else:
+                durations[i] = sn.const_ms
+        for i in range(len(spans) - 1, 0, -1):
+            if spans[i].entered and spans[i].parent >= 0:
+                durations[spans[i].parent] += durations[i]
+        per_service: dict[str, list[float]] = {}
+        for i, sn in enumerate(spans):
+            if sn.entered:
+                per_service.setdefault(sn.service, []).append(durations[i])
+        result = RequestResult(
+            op.name, outcome.ok, durations[0], outcome.error,
+            "", list(outcome.error_services),
         )
         return result, per_service
 
@@ -616,9 +691,15 @@ class ServiceRuntime:
                 e[0] += k
                 e[1] += k
                 e[2].extend([1.0] * min(k, 2))
-            # bounded full-fidelity exemplars
-            for _ in range(min(k, trace_exemplars)):
-                result, per_service = self._sample_exemplar(op, outcome, rng)
+            # bounded full-fidelity exemplars, plus (when a tail watch
+            # grew the reservoir) cheap latency-only ones: the watch needs
+            # the samples, not more stored traces
+            n_ex = min(k, trace_exemplars)
+            n_full = min(n_ex, self.BATCH_TRACE_EXEMPLARS)
+            for j in range(n_ex):
+                sample = (self._sample_exemplar if j < n_full
+                          else self._sample_tail)
+                result, per_service = sample(op, outcome, rng)
                 batch.exemplars.append(result)
                 for s, lats in per_service.items():
                     bulk_entry(s)[2].extend(lats)
@@ -641,4 +722,5 @@ class ServiceRuntime:
                           f"{op.name}/{command} handled in {site_mean:.1f}ms")
         for s, (count, errors, lats) in bulk.items():
             self.collector.record_request_bulk(self._q(s), count, errors, lats)
+            self._account(s, count)
         return batch
