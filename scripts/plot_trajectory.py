@@ -3,11 +3,14 @@
 
 Each trajectory entry is one change's hot-path measurement (appended by
 ``scripts/bench_execute.py``).  This plots ``speedup_at_10k`` and
-``best_speedup`` per entry on a log scale, plus ``multi_app_overhead_x``
-(2-app environment vs two separate environments, ~1.0 is ideal) for
-entries that measure it — a tiny, dependency-free hand-rolled SVG so the
-CI ``kernel-bench`` job can publish the perf trajectory as an artifact
-next to the raw JSON.
+``best_speedup`` per entry on a log scale, plus the near-1.0 ratio
+series for entries that measure them: ``multi_app_overhead_x`` (2-app
+environment vs two separate environments), ``tail_reservoir_overhead_x``
+(batch call with a percentile reservoir attached vs without), and
+``pool_vs_serial_x`` (serial sweep wall time over process-pool wall
+time; >1 means the pool won) — a tiny, dependency-free hand-rolled SVG
+so the CI ``kernel-bench`` job can publish the perf trajectory as an
+artifact next to the raw JSON.
 
 Usage::
 
@@ -24,7 +27,9 @@ from pathlib import Path
 WIDTH, HEIGHT = 640, 360
 MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 20, 40, 70
 SERIES = (("speedup_at_10k", "#2563eb"), ("best_speedup", "#d97706"),
-          ("multi_app_overhead_x", "#059669"))
+          ("multi_app_overhead_x", "#059669"),
+          ("tail_reservoir_overhead_x", "#7c3aed"),
+          ("pool_vs_serial_x", "#db2777"))
 
 
 def _points(entries: list[dict], key: str) -> list[tuple[int, float]]:

@@ -1,10 +1,26 @@
 """Setuptools entry point.
 
-Kept alongside pyproject.toml so `pip install -e . --no-use-pep517` works in
-offline environments that lack the `wheel` package (PEP 517 editable
-installs require building a wheel).
+A plain setup.py (no pyproject.toml) so `pip install -e . --no-use-pep517`
+works in offline environments that lack the `wheel` package (PEP 517
+editable installs require building a wheel).
+
+numpy is a hard install dependency: the deterministic RNG streams are
+built on ``numpy.random.Generator`` and the vectorized batch sampling
+engine draws fused arrays through it.  (The scalar sampling fallback in
+``repro.services.vectorized`` only covers environments where numpy is
+present for RNG but ``REPRO_SCALAR_SAMPLING=1`` forces value-by-value
+draws — see docs/design/fidelity.md.)
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-mlsysim",
+    version="2.5.0",
+    description=("Simulated cloud incident benchmark: apps, faults, "
+                 "telemetry, and agent evaluation on a virtual clock"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

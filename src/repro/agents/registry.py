@@ -50,13 +50,32 @@ def build_agent_for(name: str, context, task_type: str,
     return build_agent(name, prob_desc, instructs, apis, task_type, seed=seed)
 
 
-def agent_factory(name: str):
+class _RegisteredAgentFactory:
+    """Picklable :data:`repro.core.batch.AgentFactory` for one registered
+    agent — a module-level class (not a closure) so ``SessionSpec``\\ s that
+    carry it survive the trip to process-pool workers."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self, context, task_type: str, seed: int) -> AgentBase:
+        return build_agent_for(self.name, context, task_type, seed=seed)
+
+    def __repr__(self) -> str:
+        return f"agent_factory({self.name!r})"
+
+    def __reduce__(self):
+        return (_RegisteredAgentFactory, (self.name,))
+
+
+def agent_factory(name: str) -> _RegisteredAgentFactory:
     """An :data:`repro.core.batch.AgentFactory` for one registered agent —
-    the glue between the agent registry and ``SessionSpec``."""
-    def factory(context, task_type: str, seed: int) -> AgentBase:
-        return build_agent_for(name, context, task_type, seed=seed)
-    factory.__name__ = f"agent_factory_{name}"
-    return factory
+    the glue between the agent registry and ``SessionSpec``.  The returned
+    factory is picklable, so specs built from it work under the
+    process-pool executor."""
+    return _RegisteredAgentFactory(name)
 
 
 def registration_loc(name: str) -> int:

@@ -4,6 +4,8 @@ Built on the v2 batch executor: every case is one independent
 :class:`~repro.core.batch.SessionSpec` whose seed derives from
 ``(seed, agent, pid)``, so ``run_suite(concurrency=4)`` produces results
 bit-identical to the serial run — concurrency only changes scheduling.
+``BenchmarkRunner(executor="process")`` swaps the asyncio batch for a
+process pool (true multi-core sweeps) under the same guarantee.
 """
 
 from __future__ import annotations
@@ -71,13 +73,24 @@ class BenchmarkRunner:
     concurrency:
         How many sessions run in flight at once (default 1 = serial).
         Results are independent of this value.
+    executor:
+        ``"async"`` (default) runs cases under the in-process asyncio
+        batch; ``"process"`` fans them out over a process pool with
+        ``concurrency`` workers.  Results are bit-identical either way —
+        every case seed derives from (seed, agent, pid), never from the
+        scheduler.
     """
 
     def __init__(self, max_steps: int = 20, seed: int = 0,
-                 concurrency: int = 1) -> None:
+                 concurrency: int = 1, executor: str = "async") -> None:
+        if executor not in ("async", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; expected 'async' or "
+                f"'process'")
         self.max_steps = max_steps
         self.seed = seed
         self.concurrency = concurrency
+        self.executor = executor
 
     def _case_seed(self, agent: str, pid: str) -> int:
         import hashlib
@@ -127,7 +140,8 @@ class BenchmarkRunner:
         outcomes = run_sessions_sync(
             specs,
             concurrency=self.concurrency if concurrency is None else concurrency,
-            fail_fast=True, release_handles=True, progress=progress)
+            fail_fast=True, release_handles=True, progress=progress,
+            executor=self.executor)
         return [self._case_result(o) for o in outcomes]
 
     # ------------------------------------------------------------------

@@ -2,16 +2,21 @@
 
 :func:`run_sessions` drives many independent :class:`SessionHandle`\\ s
 under an ``asyncio.Semaphore``, so a 4-agents × 48-problems suite is no
-longer strictly serial.  Determinism is preserved by construction: each
-spec carries its own seed (derived upstream from ``(seed, agent, pid)``),
-every handle owns a private environment, and results come back in spec
-order regardless of completion order — so any concurrency level produces
-bit-identical results.
+longer strictly serial.  :func:`run_sessions_process` fans the same specs
+out over a :class:`concurrent.futures.ProcessPoolExecutor` instead —
+true multi-core parallelism for CPU-bound sweeps.  Determinism is
+preserved by construction under *every* executor: each spec carries its
+own seed (derived upstream from ``(seed, agent, pid)``), every handle
+owns a private environment, and results come back in spec order
+regardless of completion order — so serial, any asyncio concurrency
+level, and the process pool all produce bit-identical results.
 """
 
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence, Union
 
@@ -169,9 +174,107 @@ def run_sessions_sync(specs: Sequence[SessionSpec],
                       fail_fast: bool = False,
                       release_handles: bool = False,
                       progress: Optional[ProgressHook] = None,
+                      executor: str = "async",
                       ) -> list[SessionOutcome]:
-    """Synchronous, loop-safe wrapper around :func:`run_sessions`."""
+    """Synchronous, loop-safe wrapper around :func:`run_sessions`.
+
+    ``executor`` selects the fan-out backend: ``"async"`` (default) runs
+    the semaphore-bounded asyncio batch in this process;  ``"process"``
+    delegates to :func:`run_sessions_process` with ``concurrency``
+    workers.  Both return bit-identical outcomes in spec order.
+    """
+    if executor == "process":
+        if orchestrator is not None:
+            raise ValueError(
+                "the process executor cannot track handles on an "
+                "orchestrator; pass orchestrator=None")
+        return run_sessions_process(specs, processes=concurrency,
+                                    fail_fast=fail_fast, progress=progress)
+    if executor != "async":
+        raise ValueError(
+            f"unknown executor {executor!r}; expected 'async' or 'process'")
     return run_coroutine_sync(
         run_sessions(specs, concurrency=concurrency,
                      orchestrator=orchestrator, fail_fast=fail_fast,
                      release_handles=release_handles, progress=progress))
+
+
+def _run_spec_in_worker(spec: SessionSpec,
+                        fail_fast: bool = False) -> SessionOutcome:
+    """Process-pool worker: run one spec start-to-finish in this process.
+
+    Always releases the handle — environments cannot (and should not)
+    cross the process boundary; the outcome carries the pickled session
+    trajectory and result only.  The spec's own seed fully determines the
+    run, so a worker process needs no shared state with its siblings.
+    """
+    [outcome] = run_sessions_sync([spec], concurrency=1,
+                                  fail_fast=fail_fast,
+                                  release_handles=True)
+    return outcome
+
+
+def run_sessions_process(specs: Sequence[SessionSpec],
+                         processes: int = 4,
+                         fail_fast: bool = False,
+                         progress: Optional[ProgressHook] = None,
+                         ) -> list[SessionOutcome]:
+    """Fan specs out over a process pool (opt-in true parallelism).
+
+    Each spec runs start-to-finish inside one worker process with its own
+    private environment, seeded entirely by the spec — so outcomes are
+    bit-identical to :func:`run_sessions_sync` at any concurrency,
+    including serial.  Specs must be picklable: use
+    ``repro.agents.registry.agent_factory`` (or any module-level factory)
+    rather than a lambda/closure agent.  Handles are always released
+    (environments never cross the process boundary); outcomes carry the
+    session trajectory and evaluation result.
+
+    ``fail_fast=True`` propagates the first failure after cancelling
+    undispatched work; otherwise failures stay isolated on their outcome
+    like the asyncio batch.  ``progress`` is called in the parent process,
+    in spec order, once the batch has drained.
+    """
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    specs = list(specs)
+    if not specs:
+        return []
+    # fork keeps worker start cheap and inherits the warmed import state;
+    # spawn is the portable fallback (and the only option on some
+    # platforms) — determinism is seed-carried either way
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    results: list[Optional[SessionOutcome]] = [None] * len(specs)
+    with ProcessPoolExecutor(max_workers=min(processes, len(specs)),
+                             mp_context=ctx) as pool:
+        futures = {pool.submit(_run_spec_in_worker, spec, fail_fast): i
+                   for i, spec in enumerate(specs)}
+        if fail_fast:
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            for future in not_done:
+                future.cancel()
+        first_error: Optional[BaseException] = None
+        for future, i in futures.items():
+            if future.cancelled():  # fail_fast tripped before dispatch
+                continue
+            error = future.exception()
+            if error is not None:
+                # under fail_fast session errors propagate out of the
+                # worker; otherwise only worker-level failures (e.g. an
+                # unpicklable spec) surface here — session errors already
+                # live on the outcome
+                if fail_fast:
+                    if first_error is None:
+                        first_error = error
+                    continue
+                outcome = SessionOutcome(spec=specs[i], error=error)
+            else:
+                outcome = future.result()
+            results[i] = outcome
+            if progress is not None:
+                progress(outcome)
+        if first_error is not None:
+            raise first_error
+    return [r for r in results if r is not None]

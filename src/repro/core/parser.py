@@ -74,9 +74,13 @@ def parse_action(text: str,
                 for kw in call.keywords if kw.arg is not None
             }
         except (ValueError, SyntaxError) as e:
+            # strip object reprs (``<ast.Name object at 0x7f...>``) from the
+            # message: memory addresses would make the observation text —
+            # and thus recorded trajectories — differ between identical runs
+            reason = re.sub(r"<(\S+) object at 0x[0-9a-f]+>", r"<\1>", str(e))
             raise ActionParseError(
-                f"Error: malformed arguments for {name}: {e}. Arguments must "
-                f"be literals (strings, numbers, lists, dicts).") from None
+                f"Error: malformed arguments for {name}: {reason}. Arguments "
+                f"must be literals (strings, numbers, lists, dicts).") from None
     return ParsedAction(name=name, args=args, kwargs=kwargs)
 
 

@@ -24,6 +24,8 @@ a fingerprint of exactly those inputs (see ``ServiceRuntime._profile_key``).
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional
 
@@ -107,6 +109,120 @@ class PathProfile:
     @property
     def n_outcomes(self) -> int:
         return len(self.outcomes)
+
+
+def value_fingerprint(rt: "ServiceRuntime", op: Operation) -> tuple:
+    """Value-based fingerprint of everything :func:`compile_profile` reads.
+
+    The runtime's per-env cache key (``ServiceRuntime._profile_key``) leans
+    on cheap *counter* versions, which only mean "something changed" within
+    one environment — two different environments can reach the same counter
+    values through different mutation histories, so counters must never be
+    compared across sessions.  This fingerprint instead snapshots the
+    *values* the compiler consumes: the op's tree signature, every involved
+    service's image / latency parameters / pressure multiplier / overload
+    probability / network loss / reachability verdict, and the handler
+    verdict of every tree edge (credentials, backend liveness, auth and
+    role state all fold into that verdict, message text included).  Two
+    runtimes with equal fingerprints compile byte-equal profiles by
+    construction, which is what makes the cross-session
+    :class:`ProfileStore` safe.
+
+    Profiles are namespace-agnostic (qualification happens at telemetry
+    emission, not compile time), so sessions of the same problem — and
+    even co-tenant apps of the same shape in different namespaces — share
+    entries.
+    """
+    involved, _ = rt._op_fingerprint_inputs(op)
+    svc_state = []
+    for name in involved:
+        svc = rt.services[name]
+        reach = rt._check_reachable(svc)
+        svc_state.append((
+            name,
+            rt._image_of(svc),
+            svc.base_latency_ms,
+            svc.latency_sigma,
+            rt._mult(svc),
+            rt._overload_p(name),
+            rt.network_loss.get(name, 0.0),
+            (reach.kind.value, reach.message) if reach is not None else None,
+        ))
+    edge_checks: list[tuple] = []
+
+    def walk(caller: Microservice, edges: list[CallEdge]) -> None:
+        for e in edges:
+            callee = rt.services.get(e.callee)
+            if callee is None:
+                continue
+            herr = rt._check_handler(caller, callee, e.command)
+            edge_checks.append((
+                caller.name, callee.name, e.command,
+                (herr.kind.value, herr.message) if herr is not None else None,
+            ))
+            walk(callee, e.children)
+
+    walk(rt.services[op.entry], op.tree)
+    return (op.name, rt._op_tree_signature(op), tuple(svc_state),
+            tuple(edge_checks))
+
+
+class ProfileStore:
+    """Cross-session cache of compiled profiles, keyed by value fingerprint.
+
+    One store (:data:`SHARED_PROFILES`) is shared by every runtime in the
+    process, so a 4-agents × 48-problems suite compiles each (op, state)
+    profile once instead of once per session.  Safety comes from the key,
+    not from invalidation: a mutated session computes a different
+    :func:`value_fingerprint` and can never observe a co-tenant's stale
+    entry, and the stored outcomes are read-only after compilation.
+    Entries are evicted LRU past ``maxsize``; access is lock-guarded
+    because batch sessions run in worker threads.  Process-pool workers
+    each own their (forked or fresh) copy — profiles never cross process
+    boundaries.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, PathProfile] = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0, "stores": 0}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Optional[PathProfile]:
+        with self._lock:
+            profile = self._entries.get(key)
+            if profile is not None:
+                self._entries.move_to_end(key)
+                self.stats["hits"] += 1
+            else:
+                self.stats["misses"] += 1
+            return profile
+
+    def put(self, key: tuple, profile: PathProfile) -> None:
+        with self._lock:
+            self._entries[key] = profile
+            self._entries.move_to_end(key)
+            self.stats["stores"] += 1
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = {"hits": 0, "misses": 0, "stores": 0}
+
+    @property
+    def hit_rate(self) -> float:
+        looked = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / looked if looked else 0.0
+
+
+#: the process-wide store every runtime uses by default (see
+#: ``ServiceRuntime.profile_store`` for the opt-out)
+SHARED_PROFILES = ProfileStore()
 
 
 class _Branch:

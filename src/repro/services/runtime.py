@@ -11,21 +11,41 @@ Two execution tiers share the same fault semantics:
   outcomes in O(outcome branches) — binomial/multinomial error splits,
   normal-approximated lognormal latency sums, and bounded exemplar
   traces/logs.  Statistically equivalent, orders of magnitude faster.
+
+The aggregate path has two sampling engines sharing one deterministic
+batch stream: the default **vectorized engine** draws fused numpy arrays
+(one latency-sum vector per ``execute_many_all`` call, one lognormal
+matrix per outcome branch covering every exemplar), and a **scalar
+fallback** (no numpy, or ``REPRO_SCALAR_SAMPLING=1``) that draws value by
+value.  Each engine is deterministic in (seed, n); their sample values
+differ because they consume the stream in different shapes.  Compiled
+profiles are additionally shared across sessions through
+:data:`repro.services.profile.SHARED_PROFILES`, keyed by a value-based
+fingerprint so a mutated session can never observe a co-tenant's stale
+profile.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.simcore import RngStream, SimClock
 from repro.kubesim.cluster import Cluster
 from repro.services import errors as err
+from repro.services import vectorized
 from repro.services.backends import MemcachedBackend, MongoBackend, RedisBackend
 from repro.services.errors import RpcError, RpcErrorKind
 from repro.services.model import CallEdge, Microservice, Operation
-from repro.services.profile import Outcome, PathProfile, compile_profile
+from repro.services.profile import (
+    SHARED_PROFILES,
+    Outcome,
+    PathProfile,
+    ProfileStore,
+    compile_profile,
+    value_fingerprint,
+)
 from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.traces import Span, Trace
 
@@ -103,6 +123,9 @@ class ServiceRuntime:
     INFO_SAMPLE = 0.03
     #: probability of a benign transient WARN anywhere (background noise)
     NOISE_WARN = 0.01
+    #: cross-session compiled-profile store (value-fingerprint keyed);
+    #: override on an instance — or set None — to opt a runtime out
+    profile_store: Optional[ProfileStore] = SHARED_PROFILES
 
     def __init__(
         self,
@@ -131,12 +154,26 @@ class ServiceRuntime:
         #: are deterministic in (seed, n) regardless of interleaved
         #: ``execute`` calls — and per-request draws stay bit-identical.
         self._batch_rng: Optional[RngStream] = None
-        #: op name -> compiled PathProfile (validity checked by its key)
+        #: op name -> compiled PathProfile (possibly shared with co-tenant
+        #: runtimes via the cross-session store)
         self._profiles: dict[str, PathProfile] = {}
+        #: op name -> this runtime's counter fingerprint at install time
+        #: (install validity; kept outside the profile so store-served
+        #: objects need no per-runtime re-keying copy)
+        self._profile_keys: dict[str, tuple] = {}
         #: op name -> static fingerprint inputs (services, backend edges)
         self._op_static: dict[str, tuple] = {}
-        #: observability for tests/benchmarks of the profile cache
-        self.profile_stats = {"compiles": 0, "hits": 0}
+        #: op name -> structural call-tree signature (for the value key)
+        self._op_sigs: dict[str, tuple] = {}
+        #: observability for tests/benchmarks of the profile cache:
+        #: ``compiles`` counts profile installs for *this* runtime (cold
+        #: compiles and cross-session fetches alike — either way the old
+        #: profile was invalid and replaced), ``hits`` counts per-runtime
+        #: key hits, ``shared_hits`` the installs served by the store
+        self.profile_stats = {"compiles": 0, "hits": 0, "shared_hits": 0}
+        #: sampling engine: fused numpy kernels when available, scalar
+        #: draws otherwise (or when forced via REPRO_SCALAR_SAMPLING=1)
+        self.vectorize = vectorized.enabled()
         self._latency_moments_cache: dict[tuple, tuple[float, float]] = {}
         #: (pods.version, state_version)-keyed service -> pod-name memo
         self._pod_cache_key: tuple[int, int] = (-1, -1)
@@ -479,6 +516,19 @@ class ServiceRuntime:
         self._op_static[op.name] = cached
         return cached
 
+    def _op_tree_signature(self, op: Operation) -> tuple:
+        """Structural signature of ``op``'s call tree (entry, nested
+        (callee, command) tuples) — part of the cross-session value key,
+        so two ops that merely share involved services can't collide."""
+        sig = self._op_sigs.get(op.name)
+        if sig is None:
+            def walk(edges: list[CallEdge]) -> tuple:
+                return tuple((e.callee, e.command, walk(e.children))
+                             for e in edges)
+            sig = (op.entry, walk(op.tree))
+            self._op_sigs[op.name] = sig
+        return sig
+
     def _profile_key(self, op: Operation) -> tuple:
         """Fingerprint of everything the path-profile compiler reads.
 
@@ -523,23 +573,62 @@ class ServiceRuntime:
         )
 
     def _profile_for(self, op: Operation) -> PathProfile:
+        """The valid compiled profile for ``op`` — per-runtime cache first
+        (cheap counter key), then the cross-session store (value key), and
+        only then an actual compile.  Install validity is tracked in
+        ``_profile_keys`` (this runtime's counter fingerprint at install
+        time), so a store-served profile object is shared as-is — its
+        outcome objects are read-only after compilation, and its own
+        ``key`` field records the compiling runtime's counters, not
+        ours."""
         key = self._profile_key(op)
         profile = self._profiles.get(op.name)
-        if profile is not None and profile.key == key:
+        if profile is not None and self._profile_keys.get(op.name) == key:
             self.profile_stats["hits"] += 1
             return profile
-        profile = compile_profile(self, op, key)
+        store = self.profile_store
+        if store is not None:
+            vkey = value_fingerprint(self, op)
+            shared = store.get(vkey)
+            if shared is not None:
+                profile = shared
+                self.profile_stats["shared_hits"] += 1
+            else:
+                profile = compile_profile(self, op, key)
+                store.put(vkey, profile)
+        else:
+            profile = compile_profile(self, op, key)
         self._profiles[op.name] = profile
+        self._profile_keys[op.name] = key
         self.profile_stats["compiles"] += 1
         return profile
+
+    def _kernel_for(self, outcome: Outcome) -> "vectorized.OutcomeKernel":
+        """The outcome's cached vectorized sampling kernel (built on first
+        use; every kernel input is pinned by the profile's fingerprint, so
+        caching on the shared outcome object is safe across sessions)."""
+        kernel = getattr(outcome, "_kernel", None)
+        if kernel is None:
+            def mu_sigma(service: str) -> tuple[float, float]:
+                svc = self.services[service]
+                return (math.log(max(svc.base_latency_ms * self._mult(svc),
+                                     0.1)),
+                        svc.latency_sigma)
+            kernel = vectorized.OutcomeKernel(outcome, mu_sigma)
+            outcome._kernel = kernel
+        return kernel
 
     def _sample_exemplar(
         self, op: Operation, outcome: Outcome, rng: RngStream,
     ) -> tuple[RequestResult, dict[str, list[float]]]:
-        """Materialize one full-fidelity trace for an outcome branch: real
-        lognormal draws per entered span, recorded to the trace store.
-        Returns the equivalent RequestResult plus per-service subtree
-        latencies (honest samples for the collector's percentile window).
+        """Scalar-engine exemplar: materialize one full-fidelity trace for
+        an outcome branch, drawing each entered span's lognormal service
+        time individually and recording the trace to the store.  Returns
+        the equivalent RequestResult plus per-service subtree latencies
+        (honest samples for the collector's percentile window).  The
+        vectorized engine replaces the per-span draws with one fused
+        matrix per branch (:meth:`_emit_exemplars_vec`); this path remains
+        as the numpy-free fallback.
         """
         spans = outcome.spans
         durations = [0.0] * len(spans)
@@ -581,14 +670,15 @@ class ServiceRuntime:
     def _sample_tail(
         self, op: Operation, outcome: Outcome, rng: RngStream,
     ) -> tuple[RequestResult, dict[str, list[float]]]:
-        """Latency-only exemplar for the grown tail reservoir.
+        """Scalar-engine latency-only exemplar for the grown tail
+        reservoir.
 
-        Draws the *same* per-span lognormals as :meth:`_sample_exemplar`
-        (identical RNG sequence, so batch results don't shift when the
-        reservoir grows) but skips Trace/Span construction and the trace
-        store entirely — that was ~3.3× overhead per execute_many call
-        when a p99 watch was pending, for objects nothing read: the tail
-        watch only consumes the latency samples.
+        Draws the same per-span lognormals as :meth:`_sample_exemplar` but
+        skips Trace/Span construction and the trace store entirely —
+        objects nothing read: the tail watch only consumes the latency
+        samples.  Under the vectorized engine tail rows are just extra
+        rows of the branch's fused sample matrix; this scalar path exists
+        for the numpy-free fallback.
         """
         spans = outcome.spans
         durations = [0.0] * len(spans)
@@ -617,22 +707,100 @@ class ServiceRuntime:
         frozen cluster state — same outcome probabilities, same error
         attribution, same latency distribution — but O(outcome branches)
         instead of O(n · call-tree): a multinomial split over the compiled
-        :class:`PathProfile`, normal-approximated lognormal latency sums,
-        and bounded exemplar traces/logs feeding the usual telemetry
-        surfaces.  Deterministic given (seed, n) — the batch stream is
+        :class:`PathProfile`, normal-approximated lognormal latency sums
+        (one fused draw per branch under the vectorized engine), and
+        bounded exemplar traces/logs feeding the usual telemetry surfaces.
+        Deterministic given (seed, n) per engine — the batch stream is
         derived from the runtime seed, independent of per-request draws.
         """
-        op = self.operations.get(op_name)
-        if op is None:
-            raise KeyError(f"unknown operation {op_name!r}")
-        if n < 0:
-            raise ValueError(f"n must be >= 0, got {n}")
-        batch = BatchResult(op.name, n)
-        if n == 0:
-            return batch
-        profile = self._profile_for(op)
+        [batch] = self.execute_many_all([(op_name, n)])
+        return batch
+
+    def execute_many_all(
+        self, requests: Sequence[tuple[str, int]],
+    ) -> list[BatchResult]:
+        """Simulate several operations' batches in one fused pass.
+
+        This is the span-level batching entry point the aggregate workload
+        driver uses: a whole span's (op → count) split becomes *one* call,
+        and under the vectorized engine the end-to-end latency sums of
+        every (op, branch) pair are drawn as a single fused numpy sample
+        instead of one draw per branch per call.  Results come back in
+        request order.  Deterministic given (seed, ordered request list);
+        note the fused draw order means a multi-op call consumes the batch
+        stream differently than the same ops issued one
+        :meth:`execute_many` at a time — each shape is individually
+        reproducible.
+
+        The scalar fallback engine interleaves plan and emit per op, which
+        keeps single-op calls bit-identical to the historical scalar draw
+        order.
+        """
         rng = self._batch_stream()
-        counts = rng.multinomial(n, profile.probs)
+        use_vec = self.vectorize
+        results: list[BatchResult] = []
+        plans: list[Optional[tuple]] = []
+        for op_name, n in requests:
+            op = self.operations.get(op_name)
+            if op is None:
+                raise KeyError(f"unknown operation {op_name!r}")
+            if n < 0:
+                raise ValueError(f"n must be >= 0, got {n}")
+            batch = BatchResult(op.name, n)
+            results.append(batch)
+            if n == 0:
+                plans.append(None)
+                continue
+            profile = self._profile_for(op)
+            counts = rng.multinomial(n, profile.probs)
+            if use_vec:
+                plans.append((op, profile, counts, batch))
+            else:
+                plans.append(None)
+                self._emit_batch(op, profile, counts, batch, rng, None)
+        if use_vec:
+            # one fused normal draw over every stochastic (op, branch)
+            # latency sum in this call
+            keyed: list[tuple[int, int]] = []
+            locs: list[float] = []
+            scales: list[float] = []
+            for pi, plan in enumerate(plans):
+                if plan is None:
+                    continue
+                _, profile, counts, _ = plan
+                for oi, (outcome, k) in enumerate(
+                        zip(profile.outcomes, counts)):
+                    if k and outcome.var_ms > 0.0:
+                        keyed.append((pi, oi))
+                        locs.append(k * outcome.mean_ms)
+                        scales.append(math.sqrt(k * outcome.var_ms))
+            totals: list[dict[int, float]] = [{} for _ in plans]
+            if keyed:
+                sums = vectorized.branch_latency_sums(
+                    rng.generator, locs, scales)
+                for (pi, oi), total in zip(keyed, sums):
+                    totals[pi][oi] = total
+            for pi, plan in enumerate(plans):
+                if plan is None:
+                    continue
+                op, profile, counts, batch = plan
+                self._emit_batch(op, profile, counts, batch, rng, totals[pi])
+        return results
+
+    def _emit_batch(
+        self,
+        op: Operation,
+        profile: PathProfile,
+        counts: Sequence[int],
+        batch: BatchResult,
+        rng: RngStream,
+        totals: Optional[dict[int, float]],
+    ) -> None:
+        """Emit one planned batch: error accounting, latency sums, bounded
+        exemplars/logs/noise, and bulk telemetry.  ``totals`` carries the
+        vectorized engine's pre-drawn per-branch latency sums (indexed by
+        outcome position); ``None`` means scalar engine — draw them inline
+        per branch, in the historical order."""
         # adaptive exemplar reservoir: a pending p50/p99 watch on any
         # service this operation touches asks for tail fidelity
         trace_exemplars = self.BATCH_TRACE_EXEMPLARS
@@ -654,7 +822,7 @@ class ServiceRuntime:
 
         noise_pool = 0
         noise_sites: tuple[tuple[str, str, float], ...] = ()
-        for outcome, k in zip(profile.outcomes, counts):
+        for oi, (outcome, k) in enumerate(zip(profile.outcomes, counts)):
             k = int(k)
             if k == 0:
                 continue
@@ -666,10 +834,13 @@ class ServiceRuntime:
                 batch.error_kinds[kind] = batch.error_kinds.get(kind, 0) + k
             # end-to-end latency: sum of k iid lognormal-sum samples →
             # normal approximation (exact mean/variance, CLT shape)
-            if outcome.var_ms > 0.0:
-                total = rng.normal(k * outcome.mean_ms,
-                                   math.sqrt(k * outcome.var_ms))
-                total = max(total, 0.0)
+            if totals is not None:
+                total = totals.get(oi)
+                if total is None:  # var == 0: deterministic sum
+                    total = k * outcome.mean_ms
+            elif outcome.var_ms > 0.0:
+                total = max(rng.normal(k * outcome.mean_ms,
+                                       math.sqrt(k * outcome.var_ms)), 0.0)
             else:
                 total = k * outcome.mean_ms
             batch.latency_sum_ms += total
@@ -696,13 +867,17 @@ class ServiceRuntime:
             # the samples, not more stored traces
             n_ex = min(k, trace_exemplars)
             n_full = min(n_ex, self.BATCH_TRACE_EXEMPLARS)
-            for j in range(n_ex):
-                sample = (self._sample_exemplar if j < n_full
-                          else self._sample_tail)
-                result, per_service = sample(op, outcome, rng)
-                batch.exemplars.append(result)
-                for s, lats in per_service.items():
-                    bulk_entry(s)[2].extend(lats)
+            if totals is not None:
+                self._emit_exemplars_vec(op, outcome, rng, n_ex, n_full,
+                                         batch, bulk_entry)
+            else:
+                for j in range(n_ex):
+                    sample = (self._sample_exemplar if j < n_full
+                              else self._sample_tail)
+                    result, per_service = sample(op, outcome, rng)
+                    batch.exemplars.append(result)
+                    for s, lats in per_service.items():
+                        bulk_entry(s)[2].extend(lats)
             for _ in range(min(k, self.BATCH_LOG_EXEMPLARS)):
                 for svc_name, level, message in outcome.logs:
                     self._log(svc_name, level, message)
@@ -723,4 +898,50 @@ class ServiceRuntime:
         for s, (count, errors, lats) in bulk.items():
             self.collector.record_request_bulk(self._q(s), count, errors, lats)
             self._account(s, count)
-        return batch
+
+    def _emit_exemplars_vec(
+        self,
+        op: Operation,
+        outcome: Outcome,
+        rng: RngStream,
+        n_ex: int,
+        n_full: int,
+        batch: BatchResult,
+        bulk_entry: Callable[[str], list],
+    ) -> None:
+        """Vectorized exemplar block for one branch: a single fused
+        lognormal matrix covers every exemplar — full-fidelity rows
+        (materialized traces, recorded to the store) first, then
+        latency-only tail rows when a pending tail watch grew the
+        reservoir (the watch consumes latency samples, not traces)."""
+        if n_ex <= 0:
+            return
+        kernel = self._kernel_for(outcome)
+        durations = kernel.sample(rng.generator, n_ex)
+        spans = outcome.spans
+        now = self.clock.now
+        traces = self.collector.traces
+        for j in range(n_full):
+            row = durations[j]
+            trace = Trace(trace_id=traces.new_trace_id())
+            span_ids = traces.new_span_ids(len(spans))
+            for i, sn in enumerate(spans):
+                trace.spans.append(Span(
+                    span_id=span_ids[i], trace_id=trace.trace_id,
+                    parent_id=span_ids[sn.parent] if sn.parent >= 0 else None,
+                    service=sn.service, operation=sn.operation,
+                    start=now, duration_ms=float(row[i]),
+                    status=sn.status, error_message=sn.error_message,
+                ))
+            self.collector.record_trace(trace)
+            batch.exemplars.append(RequestResult(
+                op.name, outcome.ok, float(row[0]), outcome.error,
+                trace.trace_id, list(outcome.error_services)))
+        for j in range(n_full, n_ex):
+            batch.exemplars.append(RequestResult(
+                op.name, outcome.ok, float(durations[j, 0]), outcome.error,
+                "", list(outcome.error_services)))
+        # per-service latency exemplars: one column slice per entered span
+        # hands all n_ex subtree samples to the collector at once
+        for i in kernel.entered_idx:
+            bulk_entry(spans[i].service)[2].extend(durations[:, i].tolist())

@@ -1,0 +1,101 @@
+"""Numpy sampling kernels for the aggregate execution tier.
+
+``ServiceRuntime.execute_many`` spends its time drawing samples: one
+latency-sum per outcome branch, and per-span lognormal service times for
+every exemplar request.  The scalar engine draws each of those through a
+Python call per value; these kernels draw them as fused array operations
+on the batch stream's underlying :class:`numpy.random.Generator` — one
+``normal`` over all (op, branch) latency sums of a span, and one
+``lognormal`` matrix per branch covering every exemplar at once.
+
+numpy is imported behind a clean gate so the scalar fallback in
+``services/runtime.py`` keeps working without it (and can be forced for
+testing with ``REPRO_SCALAR_SAMPLING=1``).  The two engines consume the
+same deterministic batch stream but in different shapes, so each is
+reproducible in (seed, n) while their sample values differ — see
+``docs/design/fidelity.md`` for the RNG stream policy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+try:  # pragma: no cover - exercised via the explicit fallback test
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.services.profile import Outcome
+
+#: numpy importable at all (the package itself runs without it)
+AVAILABLE = np is not None
+
+
+def enabled() -> bool:
+    """Whether new runtimes should use the vectorized engine: numpy is
+    importable and the scalar engine was not forced via the
+    ``REPRO_SCALAR_SAMPLING=1`` environment variable (the CI fallback
+    gate)."""
+    return AVAILABLE and os.environ.get("REPRO_SCALAR_SAMPLING") != "1"
+
+
+class OutcomeKernel:
+    """Precomputed sampling arrays for one compiled outcome branch.
+
+    Built lazily from an :class:`~repro.services.profile.Outcome`'s span
+    skeleton the first time the branch needs exemplars, then cached on the
+    outcome — the profile's validity fingerprint already pins every input
+    (latency parameters, pressure multipliers), so the kernel can never
+    outlive the state it encodes, including when the outcome is shared
+    across sessions through the profile store.
+    """
+
+    __slots__ = ("n_spans", "entered_idx", "const", "mu", "sigma", "acc")
+
+    def __init__(self, outcome: "Outcome", mu_sigma) -> None:
+        """``mu_sigma(service) -> (mu, sigma)`` supplies each entered
+        span's lognormal parameters (the runtime's pressure-adjusted
+        moments source)."""
+        spans = outcome.spans
+        self.n_spans = len(spans)
+        self.entered_idx = np.array(
+            [i for i, sn in enumerate(spans) if sn.entered], dtype=np.intp)
+        self.const = np.array([sn.const_ms for sn in spans])
+        params = [mu_sigma(spans[i].service) for i in self.entered_idx]
+        self.mu = np.array([p[0] for p in params])
+        self.sigma = np.array([p[1] for p in params])
+        #: bottom-up subtree accumulation order: children are appended
+        #: after their parent, so one reverse pass rolls entered spans up;
+        #: failure stubs keep their fixed cost (same rule as the scalar
+        #: engine and the per-request path)
+        self.acc = [(i, spans[i].parent)
+                    for i in range(len(spans) - 1, 0, -1)
+                    if spans[i].entered and spans[i].parent >= 0]
+
+    def sample(self, gen, n_ex: int):
+        """``(n_ex, n_spans)`` subtree-summed durations: one fused
+        lognormal draw covers every exemplar's entered spans, then the
+        reverse pass accumulates child subtrees into parents — vectorized
+        across exemplars, so the per-span Python loop runs once per branch
+        instead of once per exemplar."""
+        out = np.empty((n_ex, self.n_spans))
+        out[:, :] = self.const
+        if len(self.entered_idx):
+            out[:, self.entered_idx] = gen.lognormal(
+                self.mu, self.sigma, size=(n_ex, len(self.entered_idx)))
+        for i, parent in self.acc:
+            out[:, parent] += out[:, i]
+        return out
+
+
+def branch_latency_sums(gen, locs: list, scales: list) -> list:
+    """One fused draw of every branch's end-to-end latency sum.
+
+    Each entry is the total latency of ``k`` iid requests on one outcome
+    branch — normal-approximated with exact mean/variance (CLT shape),
+    clamped at zero exactly like the scalar engine.
+    """
+    draws = gen.normal(np.asarray(locs), np.asarray(scales))
+    return [max(float(d), 0.0) for d in np.atleast_1d(draws)]

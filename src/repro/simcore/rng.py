@@ -34,6 +34,19 @@ class RngStream:
         """Derive a sub-stream; children of the same parent are independent."""
         return RngStream(self.seed, f"{self.label}/{label}")
 
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying :class:`numpy.random.Generator` — the bridge the
+        vectorized sampling kernels draw through.
+
+        Scalar helpers on this stream and vector draws on the generator
+        consume the *same* bit stream, so a caller that mixes them is
+        deterministic as long as its own call sequence is; engines that
+        draw in different shapes (scalar loop vs fused array) produce
+        different — but individually reproducible — sample sequences.
+        """
+        return self._gen
+
     # -- distributions -------------------------------------------------
     def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
         return float(self._gen.uniform(low, high))

@@ -92,6 +92,12 @@ class TraceStore:
     def new_span_id(self) -> str:
         return f"span-{next(self._id_counter):08x}"
 
+    def new_span_ids(self, n: int) -> list[str]:
+        """``n`` fresh span ids in one call (the batched-exemplar path —
+        same counter, same format, one method dispatch)."""
+        counter = self._id_counter
+        return [f"span-{next(counter):08x}" for _ in range(n)]
+
     def add(self, trace: Trace) -> None:
         self._traces.append(trace)
         if len(self._traces) > self.capacity:

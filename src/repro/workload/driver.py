@@ -311,18 +311,18 @@ class WorkloadDriver:
 
     def _issue_batch(self, n: int) -> None:
         """Split ``n`` arrivals across the operation mix (multinomially —
-        the exact distribution of ``n`` weighted choices) and run one
-        ``execute_many`` per operation."""
+        the exact distribution of ``n`` weighted choices) and run the whole
+        span as one fused ``execute_many_all`` call, so the vectorized
+        engine draws every operation's branch latency sums in a single
+        numpy sample."""
         counts = self.rng.multinomial(n, self._weights)
-        for op, k in zip(self._ops, counts):
-            if k <= 0:
-                continue
-            batch = self.runtime.execute_many(op, k)
+        requests = [(op, k) for op, k in zip(self._ops, counts) if k > 0]
+        for batch in self.runtime.execute_many_all(requests):
             self.stats.requests += batch.n
             self.stats.errors += batch.errors
             self.stats.latency_sum_ms += batch.latency_sum_ms
-            self.stats.per_operation[op] = \
-                self.stats.per_operation.get(op, 0) + batch.n
+            self.stats.per_operation[batch.operation] = \
+                self.stats.per_operation.get(batch.operation, 0) + batch.n
             self.recent_results.extend(batch.exemplars)
         if len(self.recent_results) > 500:
             del self.recent_results[:250]

@@ -355,3 +355,165 @@ class TestAdaptiveTailReservoir:
         assert errors[-1] <= 5.0
         # while a starved reservoir visibly mis-times the trigger
         assert errors[0] > 5.0
+
+
+class TestEngineDeterminism:
+    """Fixed-seed pins for the two sampling engines.
+
+    Each engine must be exactly reproducible in (seed, n); the engines'
+    values may differ from each other (they consume the batch stream in
+    different shapes) but their *counts* cannot — the multinomial outcome
+    split is the first draw on the stream under both engines."""
+
+    def test_vectorized_engine_active_by_default(self):
+        from repro.services import vectorized
+        assert vectorized.AVAILABLE
+        d = Deployed()
+        assert d.runtime.vectorize == vectorized.enabled()
+
+    def test_identical_across_fresh_deployments(self):
+        for family, apply_fault in sorted(FAULT_FAMILIES.items()):
+            _, a = _batch(apply_fault, n=3000)
+            _, b = _batch(apply_fault, n=3000)
+            assert a.latency_sum_ms == b.latency_sum_ms, family
+            assert a.error_kinds == b.error_kinds, family
+            assert [r.latency_ms for r in a.exemplars] == \
+                [r.latency_ms for r in b.exemplars], family
+
+    def test_execute_many_is_single_op_execute_many_all(self):
+        d1 = Deployed()
+        one = d1.runtime.execute_many(OP, 1500)
+        d2 = Deployed()
+        [fused] = d2.runtime.execute_many_all([(OP, 1500)])
+        assert one.latency_sum_ms == fused.latency_sum_ms
+        assert one.error_kinds == fused.error_kinds
+        assert [r.latency_ms for r in one.exemplars] == \
+            [r.latency_ms for r in fused.exemplars]
+
+    def test_multi_op_fused_call_deterministic(self):
+        reqs = [("search_hotel", 700), ("recommend", 500),
+                ("reserve", 300)]
+        d1, d2 = Deployed(), Deployed()
+        a = d1.runtime.execute_many_all(reqs)
+        b = d2.runtime.execute_many_all(reqs)
+        assert [x.operation for x in a] == [r[0] for r in reqs]
+        assert [x.latency_sum_ms for x in a] == \
+            [x.latency_sum_ms for x in b]
+        assert [x.n for x in a] == [700, 500, 300]
+
+    def test_counts_identical_across_engines(self, monkeypatch):
+        _, vec = _batch(_apply_auth_failure, n=2000)
+        monkeypatch.setenv("REPRO_SCALAR_SAMPLING", "1")
+        _, scal = _batch(_apply_auth_failure, n=2000)
+        assert vec.errors == scal.errors
+        assert vec.error_kinds == scal.error_kinds
+        assert vec.error_services == scal.error_services
+
+
+class TestScalarFallback:
+    """``REPRO_SCALAR_SAMPLING=1`` (or a missing numpy) selects the
+    value-by-value scalar engine; it must stay statistically equivalent
+    and independently deterministic."""
+
+    def test_env_gate_disables_vectorization(self, monkeypatch):
+        from repro.services import vectorized
+        monkeypatch.setenv("REPRO_SCALAR_SAMPLING", "1")
+        assert not vectorized.enabled()
+        d = Deployed()
+        assert d.runtime.vectorize is False
+
+    def test_scalar_engine_deterministic(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_SAMPLING", "1")
+        _, a = _batch(_apply_network_loss, n=2000)
+        _, b = _batch(_apply_network_loss, n=2000)
+        assert a.latency_sum_ms == b.latency_sum_ms
+        assert [r.latency_ms for r in a.exemplars] == \
+            [r.latency_ms for r in b.exemplars]
+
+    def test_scalar_matches_vectorized_statistically(self, monkeypatch):
+        _, vec = _batch(_apply_healthy, n=N)
+        monkeypatch.setenv("REPRO_SCALAR_SAMPLING", "1")
+        _, scal = _batch(_apply_healthy, n=N)
+        assert scal.mean_latency_ms == pytest.approx(
+            vec.mean_latency_ms, rel=LATENCY_RTOL)
+
+
+class TestSharedProfileStore:
+    """Compiled profiles are shared across sessions through a value-keyed
+    store: equal observable state → same profile object; any divergence →
+    a different fingerprint, so staleness is impossible by construction."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_store(self, monkeypatch):
+        from repro.services.profile import ProfileStore
+        from repro.services.runtime import ServiceRuntime
+        self.store = ProfileStore()
+        monkeypatch.setattr(ServiceRuntime, "profile_store", self.store)
+
+    def test_cross_session_hit(self):
+        d1, first = _batch(_apply_healthy, n=500)
+        assert d1.runtime.profile_stats["shared_hits"] == 0
+        assert self.store.stats["stores"] == 1
+        d2, second = _batch(_apply_healthy, n=500)
+        assert d2.runtime.profile_stats["shared_hits"] == 1
+        # same seed + same profile → bit-identical batches
+        assert second.latency_sum_ms == first.latency_sum_ms
+        assert self.store.hit_rate == 0.5
+
+    def test_store_fetch_still_counts_as_install(self):
+        """'compiles' means profile installs — cold or store-served — so
+        the invalidation tests above hold for co-tenant sessions too."""
+        d1, _ = _batch(_apply_healthy, n=100)
+        d2, _ = _batch(_apply_healthy, n=100)
+        assert d1.runtime.profile_stats["compiles"] == 1
+        assert d2.runtime.profile_stats["compiles"] == 1
+
+    def test_mutated_session_never_sees_cotenant_profile(self):
+        d1, healthy = _batch(_apply_healthy, n=500)
+        d2 = Deployed()
+        d2.app.backends["mongodb-geo"].up = False
+        broken = d2.runtime.execute_many(OP, 500)
+        assert healthy.errors == 0
+        assert broken.errors == 500
+        assert d2.runtime.profile_stats["shared_hits"] == 0
+        # and the healthy co-tenant is equally unaffected afterwards
+        assert d1.runtime.execute_many(OP, 500).errors == 0
+
+    def test_mutation_after_sharing_diverges(self):
+        d1, _ = _batch(_apply_healthy, n=200)
+        d2, _ = _batch(_apply_healthy, n=200)
+        assert d2.runtime.profile_stats["shared_hits"] == 1
+        d2.runtime.network_loss["search"] = 0.5
+        lossy = d2.runtime.execute_many(OP, 1000)
+        assert lossy.error_rate == pytest.approx(0.5, abs=0.06)
+        assert d1.runtime.execute_many(OP, 1000).errors == 0
+
+    def test_disabled_store_still_compiles(self, monkeypatch):
+        from repro.services.runtime import ServiceRuntime
+        monkeypatch.setattr(ServiceRuntime, "profile_store", None)
+        d1, a = _batch(_apply_healthy, n=300)
+        d2, b = _batch(_apply_healthy, n=300)
+        assert a.latency_sum_ms == b.latency_sum_ms
+        assert d2.runtime.profile_stats["shared_hits"] == 0
+
+    def test_lru_eviction_bounds_the_store(self):
+        from repro.services.profile import ProfileStore
+        store = ProfileStore(maxsize=2)
+        p = object()
+        store.put(("a",), p)
+        store.put(("b",), p)
+        store.put(("c",), p)
+        assert len(store) == 2
+        assert store.get(("a",)) is None   # oldest evicted
+        assert store.get(("c",)) is p
+
+    def test_lru_get_refreshes_recency(self):
+        from repro.services.profile import ProfileStore
+        store = ProfileStore(maxsize=2)
+        p = object()
+        store.put(("a",), p)
+        store.put(("b",), p)
+        assert store.get(("a",)) is p      # touch a → b becomes oldest
+        store.put(("c",), p)
+        assert store.get(("b",)) is None
+        assert store.get(("a",)) is p

@@ -112,12 +112,12 @@ class TestAggregateMode:
     def test_constant_spans_coalesce_to_scrape_boundaries(self):
         env = self._env("aggregate")
         calls = []
-        inner = env.runtime.execute_many
-        env.runtime.execute_many = \
-            lambda op, n: calls.append((op, n)) or inner(op, n)
-        env.advance(100.0)  # 20 scrape-bounded spans, ≤4 ops each
-        assert len(calls) <= 20 * 4
-        assert sum(n for _, n in calls) == 6000
+        inner = env.runtime.execute_many_all
+        env.runtime.execute_many_all = \
+            lambda reqs: calls.append(list(reqs)) or inner(reqs)
+        env.advance(100.0)  # 20 scrape-bounded spans, one fused call each
+        assert len(calls) <= 20
+        assert sum(n for span in calls for _, n in span) == 6000
 
     def test_statistics_match_under_fault(self):
         agg = self._env("aggregate")
