@@ -7,8 +7,9 @@ Each trajectory entry is one change's hot-path measurement (appended by
 series for entries that measure them: ``multi_app_overhead_x`` (2-app
 environment vs two separate environments), ``tail_reservoir_overhead_x``
 (batch call with a percentile reservoir attached vs without), and
-``pool_vs_serial_x`` (serial sweep wall time over process-pool wall
-time; >1 means the pool won) — a tiny, dependency-free hand-rolled SVG
+``pool_vs_serial_x`` (cold serial sweep wall time over warm process-pool
+wall time; >1 means the pool won), and ``grid_cells_per_s`` (sweep-grid
+throughput from one forked snapshot) — a tiny, dependency-free SVG
 so the CI ``kernel-bench`` job can publish the perf trajectory as an
 artifact next to the raw JSON.
 
@@ -29,7 +30,8 @@ MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 20, 40, 70
 SERIES = (("speedup_at_10k", "#2563eb"), ("best_speedup", "#d97706"),
           ("multi_app_overhead_x", "#059669"),
           ("tail_reservoir_overhead_x", "#7c3aed"),
-          ("pool_vs_serial_x", "#db2777"))
+          ("pool_vs_serial_x", "#db2777"),
+          ("grid_cells_per_s", "#0891b2"))
 
 
 def _points(entries: list[dict], key: str) -> list[tuple[int, float]]:

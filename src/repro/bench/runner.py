@@ -14,7 +14,14 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.agents.registry import AGENT_NAMES, agent_factory
-from repro.core.batch import SessionOutcome, SessionSpec, run_sessions_sync
+from repro.core.batch import (
+    GridCell,
+    SessionOutcome,
+    SessionSpec,
+    run_grid,
+    run_sessions_sync,
+)
+from repro.core.env import EnvSnapshot
 from repro.core.session import Session
 from repro.problems import benchmark_pids
 
@@ -168,6 +175,56 @@ class BenchmarkRunner:
                  for agent in agents for pid in pid_list]
         return SuiteResults(
             cases=self._run_specs(specs, concurrency, verbose))
+
+    def prepare_snapshot(self, pid: str,
+                         env_seed: Optional[int] = None) -> EnvSnapshot:
+        """Deploy, warm up and fault-inject ``pid`` once, then capture it.
+
+        The returned :class:`~repro.core.env.EnvSnapshot` co-captures the
+        problem (so forked sessions can be graded) and is what
+        :meth:`sweep_grid` amortizes across every cell — the one-time
+        setup cost replaces per-cell deploy + warmup + soak.
+        """
+        from repro.problems import get_problem
+        problem = get_problem(pid)
+        env = problem.create_environment(
+            seed=self.seed if env_seed is None else env_seed)
+        problem.start_workload(env)
+        problem.inject_fault(env)
+        snapshot = env.snapshot(extras=problem)
+        env.close()
+        return snapshot
+
+    def sweep_grid(
+        self,
+        snapshot: EnvSnapshot,
+        agents: Sequence[str] = AGENT_NAMES,
+        seeds: Sequence[int] = (0,),
+        step_limits: Optional[Sequence[int]] = None,
+        concurrency: Optional[int] = None,
+    ) -> list[dict]:
+        """Run an (agent × seed × step-limit) grid from one snapshot.
+
+        Every cell forks the snapshot — the environment seed is frozen in
+        it; ``seeds`` vary the *agent* seed — so a 1000-cell grid pays
+        environment setup exactly once.  With the runner's
+        ``executor="process"`` the cells fan out over warm workers that
+        inherit the snapshot at startup; results are bit-identical to the
+        serial path either way, in cell order (agents outermost, then
+        seeds, then step limits).
+        """
+        limits = list(step_limits) if step_limits is not None \
+            else [self.max_steps]
+        cells = [GridCell(agent=agent_factory(agent), agent_name=agent,
+                          seed=seed, max_steps=limit)
+                 for agent in agents for seed in seeds for limit in limits]
+        n = self.concurrency if concurrency is None else concurrency
+        processes = n if self.executor == "process" else 1
+        results = run_grid(snapshot, cells, processes=processes)
+        for cell, result in zip(cells, results):
+            result["agent_seed"] = cell.seed
+            result["max_steps"] = cell.max_steps
+        return results
 
     def sweep_step_limit(
         self,

@@ -18,7 +18,13 @@
   spec-ordered results.
 """
 
-from repro.core.env import AppSpec, CloudEnvironment, EnvSpec, FIDELITY_TIERS
+from repro.core.env import (
+    AppSpec,
+    CloudEnvironment,
+    EnvSnapshot,
+    EnvSpec,
+    FIDELITY_TIERS,
+)
 from repro.core.actions import ActionRegistry, ActionSpec, Observation, action
 from repro.core.aci import TaskActions, extract_api_docs, registry_for
 from repro.core.problem import (
@@ -36,8 +42,10 @@ from repro.core.orchestrator import (
     run_coroutine_sync,
 )
 from repro.core.batch import (
+    GridCell,
     SessionOutcome,
     SessionSpec,
+    run_grid,
     run_sessions,
     run_sessions_sync,
 )
@@ -55,6 +63,7 @@ __all__ = [
     "save_session",
     "AppSpec",
     "CloudEnvironment",
+    "EnvSnapshot",
     "EnvSpec",
     "FIDELITY_TIERS",
     "ActionRegistry",
@@ -75,8 +84,10 @@ __all__ = [
     "SessionContext",
     "SessionHandle",
     "run_coroutine_sync",
+    "GridCell",
     "SessionOutcome",
     "SessionSpec",
+    "run_grid",
     "run_sessions",
     "run_sessions_sync",
     "Evaluator",

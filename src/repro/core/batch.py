@@ -20,6 +20,7 @@ from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence, Union
 
+from repro.core.env import EnvSnapshot
 from repro.core.orchestrator import (
     Orchestrator,
     SessionContext,
@@ -199,6 +200,12 @@ def run_sessions_sync(specs: Sequence[SessionSpec],
                      release_handles=release_handles, progress=progress))
 
 
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
 def _run_spec_in_worker(spec: SessionSpec,
                         fail_fast: bool = False) -> SessionOutcome:
     """Process-pool worker: run one spec start-to-finish in this process.
@@ -243,9 +250,7 @@ def run_sessions_process(specs: Sequence[SessionSpec],
     # fork keeps worker start cheap and inherits the warmed import state;
     # spawn is the portable fallback (and the only option on some
     # platforms) — determinism is seed-carried either way
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn")
+    ctx = _pool_context()
     results: list[Optional[SessionOutcome]] = [None] * len(specs)
     with ProcessPoolExecutor(max_workers=min(processes, len(specs)),
                              mp_context=ctx) as pool:
@@ -278,3 +283,107 @@ def run_sessions_process(specs: Sequence[SessionSpec],
         if first_error is not None:
             raise first_error
     return [r for r in results if r is not None]
+
+
+# ----------------------------------------------------------------------
+# snapshot grids: warm workers amortize one prepared environment across
+# every (agent × seed × step-limit) cell
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GridCell:
+    """One cell of a snapshot sweep grid.
+
+    Cells are tiny and picklable (an :data:`AgentFactory` plus three
+    scalars), so shipping thousands of them to warm workers costs
+    nothing next to the one-time snapshot transfer.  ``seed`` seeds the
+    *agent* — the environment seed is frozen into the snapshot.
+    """
+
+    agent: Union[Any, AgentFactory]
+    agent_name: str = "agent"
+    seed: int = 0
+    max_steps: int = 20
+
+
+def run_grid_cell(snapshot: EnvSnapshot, cell: GridCell) -> dict:
+    """Run one grid cell against a fresh fork of ``snapshot``.
+
+    The snapshot must have been taken with its
+    :class:`~repro.core.problem.Problem` as ``extras``
+    (``env.snapshot(extras=problem)``) — the fork then resumes at the
+    prepared point (deployed, warmed up, fault injected) and the session
+    skips all of that setup.  Returns the evaluation result dict, the
+    only thing a 1000-cell grid keeps per cell.
+    """
+    env, problem = snapshot.fork_with_extras()
+    if not isinstance(problem, Problem):
+        env.close()
+        raise ValueError(
+            "grid snapshots must co-capture their problem: take them "
+            "with env.snapshot(extras=problem)")
+    handle = SessionHandle(problem, seed=cell.seed,
+                           agent_name=cell.agent_name, env=env)
+    try:
+        agent = cell.agent
+        if callable(agent) and not hasattr(agent, "get_action"):
+            agent = agent(handle.context, problem.task_type, cell.seed)
+        handle.bind_agent(agent, name=cell.agent_name)
+        return handle.run_sync(max_steps=cell.max_steps)
+    finally:
+        handle.close()
+
+
+#: the warm worker's inherited snapshot (set once per worker by the pool
+#: initializer — by fork inheritance where available, so the payload is
+#: never re-shipped per cell)
+_WARM_SNAPSHOT: Optional[EnvSnapshot] = None
+
+
+def _init_warm_worker(snapshot: EnvSnapshot) -> None:
+    global _WARM_SNAPSHOT
+    _WARM_SNAPSHOT = snapshot
+
+
+def _run_cell_in_worker(cell: GridCell) -> dict:
+    return run_grid_cell(_WARM_SNAPSHOT, cell)
+
+
+def run_grid(snapshot: EnvSnapshot, cells: Sequence[GridCell],
+             processes: int = 1,
+             progress: Optional[Callable[[dict], None]] = None,
+             ) -> list[dict]:
+    """Run every cell against forks of one snapshot; results in cell order.
+
+    ``processes=1`` forks and runs each cell serially in this process.
+    ``processes>1`` is the warm-worker pool: each worker receives the
+    snapshot exactly once at startup (inherited on fork, along with the
+    parent's warmed profile store and import state) and then rehydrates
+    per cell — no per-cell environment setup, no per-cell snapshot
+    transfer.  Every executor produces bit-identical results because each
+    cell's evolution is fully determined by (snapshot, cell).
+    """
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    cells = list(cells)
+    if not cells:
+        return []
+    if processes == 1:
+        results = []
+        for cell in cells:
+            result = run_grid_cell(snapshot, cell)
+            results.append(result)
+            if progress is not None:
+                progress(result)
+        return results
+    with ProcessPoolExecutor(max_workers=min(processes, len(cells)),
+                             mp_context=_pool_context(),
+                             initializer=_init_warm_worker,
+                             initargs=(snapshot,)) as pool:
+        chunksize = max(1, len(cells) // (processes * 8))
+        results = list(pool.map(_run_cell_in_worker, cells,
+                                chunksize=chunksize))
+    if progress is not None:
+        for result in results:
+            progress(result)
+    return results

@@ -28,11 +28,12 @@ to the historical single-app environment.
 
 from __future__ import annotations
 
+import pickle
 import shutil
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence, Type, Union
+from typing import Any, Optional, Sequence, Type, Union
 
 from repro.apps.base import App
 from repro.kubesim import Cluster, Helm, Kubectl
@@ -374,6 +375,32 @@ class CloudEnvironment:
         e = sum(d.stats.errors - b[1] for d, b in zip(drivers, before))
         return e / n if n else 0.0
 
+    # ------------------------------------------------------------------
+    # snapshot / fork
+    # ------------------------------------------------------------------
+    def snapshot(self, extras: Any = None) -> "EnvSnapshot":
+        """Capture the full simulation state into a picklable
+        :class:`EnvSnapshot`.
+
+        Everything reachable from the environment is captured in one
+        pickle graph: cluster objects, telemetry stores, armed fault
+        schedules (their queue events and metric watches point back at the
+        schedule), RNG stream positions and event-queue contents.  A
+        forked copy's subsequent evolution is bit-identical to a fresh
+        environment advanced to the same point — the property the
+        kernel-equivalence suite pins.
+
+        ``extras`` rides along in the same graph, so anything in it that
+        references the environment (a :class:`~repro.core.problem.Problem`
+        holding an injector, an armed schedule handle) resolves to the
+        *forked* environment on rehydration — use
+        :meth:`EnvSnapshot.fork_with_extras` to get it back.
+        """
+        payload = pickle.dumps({"env": self, "extras": extras},
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        return EnvSnapshot(payload, taken_at=self.clock.now,
+                           app_names=[a.name for a in self.apps])
+
     def close(self) -> None:
         """Release the environment's on-disk footprint.
 
@@ -391,3 +418,50 @@ class CloudEnvironment:
             self._rollup.cancel()
         if self._owns_export_root:
             shutil.rmtree(self.export_root, ignore_errors=True)
+
+
+class EnvSnapshot:
+    """A frozen, picklable capture of a :class:`CloudEnvironment`.
+
+    The payload is a single pickle of the environment (and any ``extras``
+    passed to :meth:`CloudEnvironment.snapshot`), so a snapshot can be
+    shipped across process boundaries — warm benchmark workers inherit
+    one by fork and rehydrate per grid cell instead of re-running
+    deploy + warmup + fault soak.  Each :meth:`fork` call produces an
+    independent environment: forks share no mutable state with each other
+    or with the environment the snapshot was taken from.
+    """
+
+    def __init__(self, payload: bytes, taken_at: float,
+                 app_names: Sequence[str]) -> None:
+        self.payload = payload
+        #: virtual time the snapshot was taken at
+        self.taken_at = taken_at
+        self.app_names = list(app_names)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EnvSnapshot(apps={self.app_names}, t={self.taken_at:g}, "
+                f"{self.size_bytes:,} bytes)")
+
+    def fork(self) -> CloudEnvironment:
+        """Rehydrate an independent environment at the snapshot point."""
+        return self.fork_with_extras()[0]
+
+    def fork_with_extras(self) -> tuple[CloudEnvironment, Any]:
+        """Rehydrate and also return the co-captured ``extras`` object,
+        whose environment references resolve to the forked environment
+        (one pickle memo covers both)."""
+        state = pickle.loads(self.payload)
+        env: CloudEnvironment = state["env"]
+        # every fork owns a fresh export directory: the captured path may
+        # belong to a still-open environment (or not exist in a worker)
+        env.export_root = Path(tempfile.mkdtemp(
+            prefix=f"aiopslab-{env.app.name}-"))
+        env._owns_export_root = True
+        env.exporter = TelemetryExporter(env.collector, env.export_root)
+        env.closed = False
+        return env, state["extras"]

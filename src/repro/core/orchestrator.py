@@ -69,13 +69,20 @@ class SessionHandle:
 
     def __init__(self, problem: Problem, *, seed: int = 0,
                  step_env_seconds: float = 5.0,
-                 agent: Any = None, agent_name: str = "agent") -> None:
+                 agent: Any = None, agent_name: str = "agent",
+                 env: Optional[CloudEnvironment] = None) -> None:
         self.problem = problem
         self.seed = seed
         self.step_env_seconds = step_env_seconds
-        self.env: CloudEnvironment = problem.create_environment(seed=seed)
-        problem.start_workload(self.env)
-        problem.inject_fault(self.env)
+        if env is None:
+            self.env = problem.create_environment(seed=seed)
+            problem.start_workload(self.env)
+            problem.inject_fault(self.env)
+        else:
+            # prepared-environment path: ``env`` was already deployed,
+            # warmed up and fault-injected (an EnvSnapshot fork) — adopt
+            # it instead of paying the setup again
+            self.env = env
         self.actions = TaskActions(self.env)
         self.registry: ActionRegistry = registry_for(problem.task_type)
         self.context = SessionContext(

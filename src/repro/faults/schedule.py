@@ -363,6 +363,40 @@ class FaultSchedule:
         return ArmedSchedule(self, env)
 
 
+class _EntryAction:
+    """Picklable scheduled-event action: fire one timeline entry.
+
+    A module-level callable (not a lambda) so armed timelines survive
+    environment snapshots; it also gives the snapshot graph a path from
+    the queue back to the :class:`ArmedSchedule`, keeping the schedule's
+    state in the same pickle memo as the environment."""
+
+    __slots__ = ("sched", "entry")
+
+    def __init__(self, sched: "ArmedSchedule", entry: TimelineEntry) -> None:
+        self.sched = sched
+        self.entry = entry
+
+    def __call__(self) -> None:
+        self.sched._fire(self.entry)
+
+
+class _WatchAction:
+    """Picklable metric-watch callback: fire (and maybe re-arm) one
+    watched timeline entry."""
+
+    __slots__ = ("sched", "entry", "watch")
+
+    def __init__(self, sched: "ArmedSchedule", entry: TimelineEntry,
+                 watch: MetricWatch) -> None:
+        self.sched = sched
+        self.entry = entry
+        self.watch = watch
+
+    def __call__(self) -> None:
+        self.sched._fire_watched(self.entry, self.watch)
+
+
 class ArmedSchedule:
     """A :class:`FaultSchedule` bound to one environment's event queue.
 
@@ -411,7 +445,7 @@ class ArmedSchedule:
             if isinstance(trigger, AtTime):
                 self.events.append(env.queue.schedule_at(
                     self.armed_at + trigger.at,
-                    lambda e=entry: self._fire(e),
+                    _EntryAction(self, entry),
                     label=f"fault.{entry.kind}",
                 ))
             elif isinstance(trigger, MetricTrigger):
@@ -423,8 +457,7 @@ class ArmedSchedule:
                     label=f"fault.{entry.kind}.{trigger.service}",
                     require_clear=entry.repeat != 1,
                 )
-                watch.callback = \
-                    lambda e=entry, w=watch: self._fire_watched(e, w)
+                watch.callback = _WatchAction(self, entry, watch)
                 env.queue.attach_watch(watch)
                 env.collector.add_watch(watch)
                 self.watches.append(watch)
@@ -535,7 +568,7 @@ class ArmedSchedule:
                 delay = self._flap_rng.uniform(0.0, entry.jitter_s)
                 self.events.append(self.env.queue.schedule_at(
                     self.env.clock.now + delay,
-                    lambda e=entry: self._fire(e),
+                    _EntryAction(self, entry),
                     label=f"fault.{entry.kind}.jitter",
                 ))
             else:
@@ -557,7 +590,7 @@ class ArmedSchedule:
             delay = dep.trigger.delay  # type: ignore[union-attr]
             self.events.append(self.env.queue.schedule_at(
                 now + delay,
-                lambda e=dep: self._fire(e),
+                _EntryAction(self, dep),
                 label=f"fault.{dep.kind}",
             ))
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 from repro.simcore import RngStream, SimClock, ResourceNotFound, InvalidAction
@@ -92,6 +91,18 @@ class _VersionedDict(dict):
         self._bulk_epoch += 1
         return super().__ior__(other)
 
+    def __reduce__(self):
+        """Rebuild through ``__setstate__`` rather than per-item
+        ``__setitem__`` (which would read the version slots before
+        pickle restores them) — and restore the exact counters, so a
+        snapshotted cluster's derived-cache fingerprints stay valid."""
+        state = (dict(self), self.version, self._ns_counts, self._bulk_epoch)
+        return (self.__class__, (), state)
+
+    def __setstate__(self, state) -> None:
+        items, self.version, self._ns_counts, self._bulk_epoch = state
+        dict.update(self, items)
+
 
 class Cluster:
     """Holds every Kubernetes object and runs the reconciling controllers.
@@ -118,8 +129,10 @@ class Cluster:
                  node_specs=None) -> None:
         self.clock = clock or SimClock()
         self.rng = RngStream(seed, "kubesim")
-        self._uid_counter = itertools.count(1)
-        self._ip_counter = itertools.count(2)
+        #: plain ints (next value to hand out) rather than itertools.count
+        #: so cluster state pickles for environment snapshots
+        self._uid_counter = 1
+        self._ip_counter = 2
 
         self.namespaces: set[str] = {"default", "kube-system"}
         self.nodes: dict[str, Node] = {}
@@ -200,10 +213,13 @@ class Cluster:
         return (self._ns_marks.get(namespace, 0), self._reconcile_version)
 
     def _next_uid(self) -> str:
-        return f"uid-{next(self._uid_counter):06d}"
+        n = self._uid_counter
+        self._uid_counter += 1
+        return f"uid-{n:06d}"
 
     def _next_ip(self) -> str:
-        n = next(self._ip_counter)
+        n = self._ip_counter
+        self._ip_counter += 1
         return f"10.244.{(n >> 8) & 0xFF}.{n & 0xFF}"
 
     def record_event(

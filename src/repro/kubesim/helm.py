@@ -9,7 +9,6 @@ needs to enforce its TLS requirements through a Helm configuration update").
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -70,13 +69,21 @@ class HelmRelease:
 
 
 def merge_values(base: dict[str, Any], override: Optional[dict[str, Any]]) -> dict[str, Any]:
-    """Deep-merge ``override`` onto ``base`` (helm's value semantics)."""
-    out = copy.deepcopy(base)
+    """Deep-merge ``override`` onto ``base`` (helm's value semantics).
+
+    Copy-on-write: only the dict spine along merged paths is copied;
+    untouched subtrees and override leaves are shared by reference.
+    Neither input is ever mutated — every dict on a merge path is a fresh
+    one — which is all the deep copy bought, at a per-render cost that
+    scaled with the whole values tree (hot on large ``node_specs``
+    environments, where every release render re-merged the full tree).
+    """
+    out = dict(base)
     for k, v in (override or {}).items():
         if isinstance(v, dict) and isinstance(out.get(k), dict):
             out[k] = merge_values(out[k], v)
         else:
-            out[k] = copy.deepcopy(v)
+            out[k] = v
     return out
 
 

@@ -319,13 +319,14 @@ class ResourcePlane:
     # -- kubectl adapters --------------------------------------------------
     def kubectl_node_metrics_source(self):
         """Rows for ``kubectl top nodes`` / ``get nodes`` utilization
-        columns: (name, used mcores, cpu %, requested MiB, mem %, pods)."""
+        columns: (name, used mcores, cpu %, requested MiB, mem %, pods).
+        A bound method (not a closure) so the callback pickles for
+        environment snapshots."""
+        return self._node_metrics_rows
 
-        def source() -> list[tuple[str, float, float, float, float, int]]:
-            return [
-                (u.name, u.used_mcores, 100.0 * u.cpu_utilization,
-                 u.requested_mib, 100.0 * u.mem_utilization, u.pods)
-                for u in self.node_usage()
-            ]
-
-        return source
+    def _node_metrics_rows(self) -> list[tuple[float, ...]]:
+        return [
+            (u.name, u.used_mcores, 100.0 * u.cpu_utilization,
+             u.requested_mib, 100.0 * u.mem_utilization, u.pods)
+            for u in self.node_usage()
+        ]

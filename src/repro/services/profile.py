@@ -214,6 +214,17 @@ class ProfileStore:
             self._entries.clear()
             self.stats = {"hits": 0, "misses": 0, "stores": 0}
 
+    def __getstate__(self) -> dict:
+        """Locks don't pickle; drop it so a store that ends up in an
+        environment snapshot (instance-level override) survives the trip."""
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     @property
     def hit_rate(self) -> float:
         looked = self.stats["hits"] + self.stats["misses"]

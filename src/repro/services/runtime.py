@@ -54,6 +54,12 @@ from repro.telemetry.traces import Span, Trace
 CredentialsProvider = Callable[[str, str], Optional[tuple[str, str]]]
 
 
+def _default_credentials(caller: str, backend: str) -> tuple[str, str]:
+    """Default open-access credentials; a module function (not a lambda)
+    so runtimes pickle for environment snapshots."""
+    return ("admin", "admin")
+
+
 @dataclass
 class RequestResult:
     """Outcome of one end-to-end request."""
@@ -142,7 +148,7 @@ class ServiceRuntime:
         self.services = services
         self.operations = operations
         self.collector = collector
-        self.credentials_provider = credentials_provider or (lambda c, b: ("admin", "admin"))
+        self.credentials_provider = credentials_provider or _default_credentials
         self.rng = RngStream(seed, f"runtime/{namespace}")
         #: chaos state: callee service -> packet drop probability
         self.network_loss: dict[str, float] = {}

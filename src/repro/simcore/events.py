@@ -9,7 +9,6 @@ event instead of being ticked through.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -100,14 +99,36 @@ class Watch:
 
 class RecurringEvent:
     """Handle for a self-rescheduling event created by
-    :meth:`EventQueue.schedule_every`; :meth:`cancel` stops the series."""
+    :meth:`EventQueue.schedule_every`; :meth:`cancel` stops the series.
 
-    def __init__(self, label: str = "") -> None:
+    The handle itself carries the rescheduling state (queue, action,
+    interval) and the scheduled action is its bound :meth:`_fire` — not a
+    closure — so a queue full of recurring series pickles cleanly for
+    environment snapshots.
+    """
+
+    def __init__(self, queue: "EventQueue", action: Callable[[], Any],
+                 interval: float, label: str = "",
+                 passive: bool = False) -> None:
+        self.queue = queue
+        self.action = action
+        self.interval = interval
         self.label = label
+        self.passive = passive
         self.cancelled = False
         self.fired = 0
         #: the currently scheduled occurrence
         self.event: Optional[ScheduledEvent] = None
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fired += 1
+        self.action()
+        if not self.cancelled:
+            self.event = self.queue.schedule_in(
+                self.interval, self._fire, label=self.label,
+                passive=self.passive)
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -141,7 +162,9 @@ class EventQueue:
     def __init__(self, clock: SimClock) -> None:
         self.clock = clock
         self._heap: list[ScheduledEvent] = []
-        self._seq = itertools.count()
+        #: plain int (not itertools.count) so queue state pickles for
+        #: environment snapshots
+        self._seq = 0
         self._cancelled = 0
         #: live (not cancelled, not fired) non-passive events — lets
         #: ``next_active_time`` answer None in O(1), the common case for
@@ -209,7 +232,9 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule in the past: now={self.clock.now}, t={time}"
             )
-        ev = ScheduledEvent(time=time, seq=next(self._seq), action=action,
+        seq = self._seq
+        self._seq += 1
+        ev = ScheduledEvent(time=time, seq=seq, action=action,
                             label=label, passive=passive, queue=self)
         heapq.heappush(self._heap, ev)
         if not passive:
@@ -236,19 +261,10 @@ class EventQueue:
         """
         if interval <= 0:
             raise ValueError(f"interval must be > 0, got {interval}")
-        handle = RecurringEvent(label=label)
-
-        def fire() -> None:
-            if handle.cancelled:
-                return
-            handle.fired += 1
-            action()
-            if not handle.cancelled:
-                handle.event = self.schedule_in(interval, fire, label=label,
-                                                passive=passive)
-
+        handle = RecurringEvent(self, action, interval, label=label,
+                                passive=passive)
         start = self.clock.now + interval if first_at is None else first_at
-        handle.event = self.schedule_at(start, fire, label=label,
+        handle.event = self.schedule_at(start, handle._fire, label=label,
                                         passive=passive)
         return handle
 

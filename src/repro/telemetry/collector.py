@@ -249,14 +249,26 @@ class TelemetryCollector:
 
     def kubectl_metrics_source(self, cluster: "Cluster"):
         """Build the ``kubectl top pods`` callback bound to ``cluster``."""
+        return _PodMetricsSource(self, cluster)
 
-        def source(namespace: str) -> list[tuple[str, float, float]]:
-            rows = []
-            for pod in cluster.pods_in(namespace):
-                svc = self.qualify(namespace, pod.owner or pod.name)
-                cpu = self.metrics.snapshot_latest("cpu_usage").get(svc, 0.0)
-                mem = self.metrics.snapshot_latest("memory_usage").get(svc, 0.0)
-                rows.append((pod.name, cpu, mem))
-            return rows
 
-        return source
+class _PodMetricsSource:
+    """Picklable ``kubectl top pods`` callback (a closure would break
+    environment snapshots)."""
+
+    __slots__ = ("collector", "cluster")
+
+    def __init__(self, collector: "TelemetryCollector",
+                 cluster: "Cluster") -> None:
+        self.collector = collector
+        self.cluster = cluster
+
+    def __call__(self, namespace: str) -> list[tuple[str, float, float]]:
+        metrics = self.collector.metrics
+        rows = []
+        for pod in self.cluster.pods_in(namespace):
+            svc = self.collector.qualify(namespace, pod.owner or pod.name)
+            cpu = metrics.snapshot_latest("cpu_usage").get(svc, 0.0)
+            mem = metrics.snapshot_latest("memory_usage").get(svc, 0.0)
+            rows.append((pod.name, cpu, mem))
+        return rows

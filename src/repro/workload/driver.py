@@ -20,6 +20,7 @@ only as a private fixture inside
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -106,6 +107,7 @@ class WorkloadDriver:
         total = sum(mix.values())
         self._weights = [w / total for w in mix.values()]
         self._carry = 0.0
+        self._warned_clipping = False
         self._last_scrape = runtime.clock.now
         self.recent_results: list[RequestResult] = []
         # standalone drivers own a private queue; environments share theirs
@@ -208,6 +210,18 @@ class WorkloadDriver:
         self._carry = want - n
         # Cap per-tick volume so pathological policies can't stall a run;
         # the cap is generous relative to the paper's wrk rate of 100/s.
+        # Capping silently would misreport the offered load, so the first
+        # clipped tick warns loudly (once per driver).
+        if n > self.max_requests_per_tick and not self._warned_clipping:
+            self._warned_clipping = True
+            warnings.warn(
+                f"per_request workload clipped: {n} requests offered in "
+                f"one tick but max_requests_per_tick="
+                f"{self.max_requests_per_tick}; served load will fall "
+                f"short of the policy's rate. For >= 1k rps workloads "
+                f"use fidelity=\"aggregate\" (no per-tick cap), or raise "
+                f"max_requests_per_tick.",
+                RuntimeWarning, stacklevel=2)
         for _ in range(min(n, self.max_requests_per_tick)):
             self._issue_one()
         self._schedule_next_tick(now + step)

@@ -203,7 +203,9 @@ class TestAggregateGradingAgreement:
         ("load_triggered_scale_zero_social_net-localization-1", 11),
         # multi-app families (cross-app triggers; high-rate variant
         # excluded like the other highrate pids — the per-request tick
-        # cap clips 1k+ rps offered load)
+        # cap clips 1k+ rps offered load, and since PR 8 warns about it
+        # loudly; those pids declare fidelity="aggregate" and have no
+        # per-request tier to agree with)
         ("noisy_neighbor_multi_hotel_res-detection-1", 11),
         ("shared_backend_cascade_multi_hotel_res-localization-1", 11),
         ("cross_app_remediation_multi_social_net-detection-1", 11),

@@ -44,12 +44,28 @@ class TestWorkloadDriver:
         hotel.driver.run_events(12)  # default scrape interval 5s
         assert hotel.collector.metrics.series("frontend", "cpu_usage")
 
-    def test_per_tick_cap_bounds_volume(self, hotel):
+    def test_per_tick_cap_bounds_volume_and_warns(self, hotel):
         driver = WorkloadDriver(hotel.runtime, hotel.app.workload_mix(),
                                 ConstantRate(10_000), seed=1,
                                 max_requests_per_tick=50)
-        stats = driver.run_events(2)
+        with pytest.warns(RuntimeWarning, match="aggregate"):
+            stats = driver.run_events(2)
         assert stats.requests <= 100
+
+    def test_clipping_warns_once_per_driver(self, hotel):
+        driver = WorkloadDriver(hotel.runtime, hotel.app.workload_mix(),
+                                ConstantRate(10_000), seed=1,
+                                max_requests_per_tick=50)
+        with pytest.warns(RuntimeWarning) as record:
+            driver.run_events(3)
+        assert len([w for w in record
+                    if issubclass(w.category, RuntimeWarning)]) == 1
+
+    def test_uncapped_rate_does_not_warn(self, hotel):
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            hotel.driver.run_events(5)  # default 60 rps, far below the cap
 
     def test_error_rate_property(self, hotel):
         hotel.app.backends["mongodb-geo"].revoke_roles("admin")
