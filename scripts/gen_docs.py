@@ -8,7 +8,9 @@ Two files are generated (and committed, so readers need no tooling):
   (``registry_for(task).render_docs()`` per task type);
 * ``docs/scenarios.md`` — the scenario-problem catalog behind
   ``repro.problems.scenario_pids()``: pid, hosted app(s), fidelity/rate,
-  trigger kinds and the full fault timeline per scenario.
+  trigger kinds and the full fault timeline per scenario, plus the
+  procedural generator's template space (axes × values, with sampled
+  example recipes from the documented seed-0 pool).
 
 ``--check`` regenerates in memory and exits non-zero if the committed
 files are stale — the CI ``docs-check`` step runs exactly that, so the
@@ -121,6 +123,56 @@ def _scenario_rows() -> list[dict]:
     return rows
 
 
+def _render_template_space() -> list[str]:
+    """The procedural generator's axes, plus sampled seed-0 recipes."""
+    from repro.problems import ScenarioGenerator, template_space
+    from repro.problems.generator import SHAPES, describe_timeline
+
+    out = [
+        "## Procedural template space",
+        "",
+        "`repro.problems.generator.ScenarioGenerator` composes unlimited",
+        "further scenarios from these axes (`generated_pool(n, seed)` /",
+        "`scenario_pids(n=..., seed=...)`).  Every generated problem is",
+        "deterministic in `(seed, index)`, carries an auto-derived grading",
+        "spec, and is certified by the property suite in",
+        "`tests/problems/test_generator.py` — arm-time validity, end-to-end",
+        "sessions, fidelity-tier agreement and byte-identical replay.",
+        "",
+        "| axis | values |",
+        "|---|---|",
+    ]
+    for axis, values in template_space().items():
+        rendered = ", ".join(f"`{v}`" for v in values)
+        out.append(f"| {axis} | {rendered} |")
+    out.extend([
+        "",
+        "### Sampled recipes (seed 0)",
+        "",
+        "One example per trigger shape, drawn from the documented",
+        "`generated_pool(200, seed=0)`:",
+        "",
+    ])
+    gen = ScenarioGenerator(0)
+    for shape in SHAPES:
+        index = next(i for i in range(len(SHAPES) * 3)
+                     if gen.spec(i).shape == shape)
+        spec = gen.spec(index)
+        apps = " + ".join([spec.app_name] + [n[0] for n in spec.neighbors])
+        out.append(f"#### `{spec.pid}`")
+        out.append("")
+        out.append(f"- task {spec.task} · apps {apps} · {spec.fidelity} · "
+                   f"{spec.policy} policy @ {spec.rate:g} rps")
+        timeline = describe_timeline(spec)
+        if timeline:
+            out.extend(f"- {line}" for line in timeline)
+        else:
+            out.append("- (quiet: no scheduled timeline — detection "
+                       "ground truth is \"no\")")
+        out.append("")
+    return out
+
+
 def render_scenarios_md() -> str:
     """The scenario catalog: summary table plus per-scenario timelines."""
     rows = _scenario_rows()
@@ -155,6 +207,7 @@ def render_scenarios_md() -> str:
         else:
             out.append("- (no scheduled timeline)")
         out.append("")
+    out.extend(_render_template_space())
     return "\n".join(out)
 
 

@@ -16,7 +16,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-mlsysim",
-    version="2.5.0",
+    version="2.7.0",
     description=("Simulated cloud incident benchmark: apps, faults, "
                  "telemetry, and agent evaluation on a virtual clock"),
     package_dir={"": "src"},

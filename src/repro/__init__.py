@@ -29,7 +29,7 @@ The seed's ``init_problem`` → ``register_agent`` → ``start_problem`` flow
 still works as a thin shim over one implicit session and is deprecated.
 """
 
-__version__ = "2.6.0"
+__version__ = "2.7.0"
 
 from repro.core import (
     ActionRegistry,

@@ -355,6 +355,16 @@ class FaultSchedule:
                         f"{self.entries[i].tag!r} — it could never fire")
                 seen.add(i)
 
+    def validate(self) -> "FaultSchedule":
+        """Run arm-time timeline validation without an environment:
+        AfterEvent tags must resolve to an entry, acyclically.  Returns
+        ``self`` so it chains; raises ``ValueError`` with the same
+        messages :meth:`arm` would.  (Per-trigger invariants — negative
+        delays/offsets/sustains, empty tags — are rejected even earlier,
+        at trigger construction.)"""
+        self._validate_chains()
+        return self
+
     def arm(self, env: "CloudEnvironment") -> "ArmedSchedule":
         """Bind the timeline to ``env``: time entries become queue events,
         metric entries become scrape-evaluated watches, chained entries

@@ -1,7 +1,10 @@
 """The AIOpsLab benchmark problem pool (§3.3): 48 problems + 2 Noop probes,
-plus scheduled-fault scenario problems behind :func:`scenario_pids`."""
+hand-written scheduled-fault scenarios behind :func:`scenario_pids`, and
+a seeded procedural generator (:mod:`repro.problems.generator`) behind
+:func:`generated_pool`."""
 
 from repro.problems.pool import (
+    GENERATED_FACTORIES,
     PROBLEM_FACTORIES,
     SCENARIO_FACTORIES,
     benchmark_pids,
@@ -10,15 +13,28 @@ from repro.problems.pool import (
     get_problem,
     list_problems,
     pool_summary,
+    split_pid,
+)
+from repro.problems.generator import (
+    GeneratedSpec,
+    ScenarioGenerator,
+    generated_pool,
+    template_space,
 )
 
 __all__ = [
+    "GENERATED_FACTORIES",
     "PROBLEM_FACTORIES",
     "SCENARIO_FACTORIES",
+    "GeneratedSpec",
+    "ScenarioGenerator",
     "benchmark_pids",
+    "generated_pool",
     "noop_pids",
     "scenario_pids",
     "get_problem",
     "list_problems",
     "pool_summary",
+    "split_pid",
+    "template_space",
 ]

@@ -8,8 +8,21 @@ Composition (reconciling Table 2 with the 48-problem count, see DESIGN.md):
 * total benchmark = **48**; plus 2 Noop detection probes (§3.6.4),
   evaluated separately for false positives.
 
-Problem ids follow the paper's shape, e.g.
-``misconfig_k8s_social_net-localization-1``.
+Problem ids follow the paper's shape, and every pool (hand-written,
+scenario, generated) shares one grammar::
+
+    pid   := stem "-" task "-" index
+    stem  := [a-z0-9_]+        (never contains "-")
+    task  := detection | localization | analysis | mitigation
+    index := [0-9]+
+
+e.g. ``misconfig_k8s_social_net-localization-1``.  :func:`split_pid`
+parses it; :func:`list_problems` filters on the parsed ``task`` field
+instead of a substring (a stem like ``reload_detection_probe`` can never
+shadow a task name again).  Generated pids (see
+:mod:`repro.problems.generator`) additionally encode their recipe in the
+stem prefix ``gen<seed>x<index>_`` and resolve through
+:func:`get_problem` with no prior registration.
 """
 
 from __future__ import annotations
@@ -76,6 +89,26 @@ def _build() -> tuple[dict[str, Callable[[], Problem]], list[str], list[str]]:
 PROBLEM_FACTORIES, _BENCHMARK_PIDS, _NOOP_PIDS = _build()
 _SCENARIO_PIDS = list(SCENARIO_FACTORIES)
 
+#: generated pid -> factory, populated by ``generated_pool`` (a cache:
+#: any generated pid also resolves through the parse fallback below)
+GENERATED_FACTORIES: dict[str, Callable[[], Problem]] = {}
+
+_TASK_TYPES = tuple(_TASK_CLASSES)
+
+
+def split_pid(pid: str) -> Optional[tuple[str, str, int]]:
+    """Parse ``pid`` into ``(stem, task, index)`` per the pool grammar,
+    or ``None`` if it doesn't conform.  The stem is hyphen-free, so
+    splitting on the last two hyphens is unambiguous."""
+    parts = pid.rsplit("-", 2)
+    if len(parts) != 3:
+        return None
+    stem, task, index = parts
+    if not stem or "-" in stem or task not in _TASK_TYPES \
+            or not index.isdigit():
+        return None
+    return stem, task, int(index)
+
 
 def benchmark_pids() -> list[str]:
     """The 48 benchmark problem ids (stable order: Table-2 order)."""
@@ -87,34 +120,63 @@ def noop_pids() -> list[str]:
     return list(_NOOP_PIDS)
 
 
-def scenario_pids() -> list[str]:
-    """Scheduled-fault scenario problems (delayed onset, flapping,
-    cascades, traffic surges) built on the event kernel's
+def scenario_pids(n: Optional[int] = None, seed: int = 0) -> list[str]:
+    """Scheduled-fault scenario problems built on the event kernel's
     :class:`~repro.faults.schedule.FaultSchedule` timelines.
+
+    With no arguments, the hand-written scenario catalog (delayed onset,
+    flapping, cascades, traffic surges).  With ``n`` (and optionally
+    ``seed``), a procedurally generated pool of ``n`` fresh scenarios —
+    shorthand for :func:`repro.problems.generator.generated_pool`.
 
     Kept separate from :func:`benchmark_pids` so the paper-faithful
     48-problem set is untouched."""
-    return list(_SCENARIO_PIDS)
+    if n is None:
+        return list(_SCENARIO_PIDS)
+    from repro.problems.generator import generated_pool
+    return generated_pool(n, seed=seed)
 
 
 def get_problem(pid: str) -> Problem:
-    """Instantiate a fresh problem for ``pid`` (problems are single-use)."""
-    factory = PROBLEM_FACTORIES.get(pid) or SCENARIO_FACTORIES.get(pid)
-    if factory is None:
-        raise KeyError(
-            f"unknown problem id {pid!r}; see list_problems()")
-    return factory()
+    """Instantiate a fresh problem for ``pid`` (problems are single-use).
+
+    Resolution order: benchmark/noop factories, hand-written scenarios,
+    the generated-pool cache, and finally — for ``gen<seed>x<index>_…``
+    pids never registered in this process — the generator itself, which
+    rebuilds the problem from the recipe encoded in the pid."""
+    factory = PROBLEM_FACTORIES.get(pid) or SCENARIO_FACTORIES.get(pid) \
+        or GENERATED_FACTORIES.get(pid)
+    if factory is not None:
+        return factory()
+    from repro.problems.generator import is_generated_pid, problem_for_pid
+    if is_generated_pid(pid):
+        return problem_for_pid(pid)
+    raise KeyError(
+        f"unknown problem id {pid!r}; see list_problems()")
 
 
 def list_problems(task_type: Optional[str] = None,
                   include_noop: bool = False,
                   include_scenarios: bool = False) -> list[str]:
-    """Problem ids, optionally filtered by task type."""
+    """Problem ids, optionally filtered by task type.
+
+    The filter parses each pid with :func:`split_pid` and matches the
+    ``task`` field exactly; an unknown ``task_type`` raises ``ValueError``
+    instead of silently returning an empty list."""
     pids = benchmark_pids() + (noop_pids() if include_noop else []) \
         + (scenario_pids() if include_scenarios else [])
     if task_type is None:
         return pids
-    return [p for p in pids if f"-{task_type}-" in p]
+    if task_type not in _TASK_TYPES:
+        raise ValueError(
+            f"unknown task type {task_type!r}; expected one of "
+            f"{', '.join(_TASK_TYPES)}")
+    out = []
+    for p in pids:
+        parsed = split_pid(p)
+        if parsed is not None and parsed[1] == task_type:
+            out.append(p)
+    return out
 
 
 def pool_summary() -> dict[str, int]:

@@ -1,10 +1,29 @@
-"""Shared fixtures: deployed environments and common builders."""
+"""Shared fixtures: deployed environments and common builders.
+
+Also pins the hypothesis profiles used by the property suites
+(``tests/problems/test_generator.py``, ``tests/faults/test_schedule.py``):
+the ``ci`` profile is fully deterministic (derandomized, no example
+database, no flaky deadlines) so a CI failure is always reproducible
+locally with ``HYPOTHESIS_PROFILE=ci``."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.apps import HotelReservation, SocialNetwork
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    database=None,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.kubesim import Cluster
 from repro.simcore import SimClock
 from repro.telemetry import TelemetryCollector

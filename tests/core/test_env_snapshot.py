@@ -230,3 +230,75 @@ class TestSnapshotGrid:
         fork = clone.fork()
         assert fork.clock.now == snapshot.taken_at
         fork.close()
+
+
+class TestGeneratedSnapshotGrid:
+    """Snapshot/fork on *generated* problems: the warm-worker grid must
+    treat a procedurally synthesized pool exactly like the hand-written
+    one — fork sessions bit-identical to cold setup-from-scratch runs,
+    across trigger shapes, fidelity tiers and multi-tenant app sets."""
+
+    def _sample_pids(self):
+        """Deterministic shape-diverse sample of the seed-0 pool: the
+        first delayed, metric and chain recipes (multi-app + both
+        fidelity tiers among them)."""
+        from repro.problems import ScenarioGenerator
+        gen = ScenarioGenerator(0)
+        picked = {}
+        for i in range(30):
+            spec = gen.spec(i)
+            if spec.shape in ("delayed", "metric", "chain") \
+                    and spec.shape not in picked:
+                picked[spec.shape] = spec.pid
+        return list(picked.values())
+
+    def test_generated_fork_matches_cold_session(self):
+        from repro.core.orchestrator import SessionHandle
+        for pid in self._sample_pids():
+            problem = get_problem(pid)
+            env = problem.create_environment(seed=7)
+            problem.start_workload(env)
+            problem.inject_fault(env)
+            snapshot = env.snapshot(extras=problem)
+            env.close()
+            warm = run_grid_cell(snapshot, GridCell(
+                agent=agent_factory("flash"), agent_name="flash",
+                seed=7, max_steps=5))
+
+            cold_problem = get_problem(pid)
+            handle = SessionHandle(cold_problem, seed=7, agent_name="flash")
+            agent = agent_factory("flash")(handle.context,
+                                           cold_problem.task_type, 7)
+            handle.bind_agent(agent, name="flash")
+            cold = handle.run_sync(max_steps=5)
+            handle.close()
+            warm.pop("agent_seed", None)
+            warm.pop("max_steps", None)
+            assert warm == cold, pid
+
+    def test_generated_sweep_grid_pooled_matches_serial(self):
+        from repro.bench import BenchmarkRunner
+        pid = self._sample_pids()[0]
+        snapshot = BenchmarkRunner(max_steps=4, seed=7) \
+            .prepare_snapshot(pid)
+        serial = BenchmarkRunner(max_steps=4, seed=7).sweep_grid(
+            snapshot, agents=("flash",), seeds=(0, 1), step_limits=(3, 4))
+        pooled = BenchmarkRunner(max_steps=4, seed=7, concurrency=2,
+                                 executor="process").sweep_grid(
+            snapshot, agents=("flash",), seeds=(0, 1), step_limits=(3, 4))
+        assert len(serial) == 4
+        assert serial == pooled
+        assert all(r["pid"] == pid for r in serial)
+
+    def test_generated_snapshot_pickle_roundtrip(self):
+        """Generated problems (spec-driven, clone tenants included) are
+        picklable as snapshot extras."""
+        import pickle
+        from repro.bench import BenchmarkRunner
+        pid = self._sample_pids()[0]
+        snapshot = BenchmarkRunner(max_steps=4, seed=7) \
+            .prepare_snapshot(pid)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        fork, problem = clone.fork_with_extras()
+        assert problem.pid == pid
+        fork.close()

@@ -3,6 +3,8 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.apps import HotelReservation
 from repro.core import CloudEnvironment
@@ -276,6 +278,75 @@ class TestTriggers:
         assert armed.log == []
         assert env.driver.stats.errors == 0
 
+class TestTimelineValidationProperties:
+    """Property: arm-time validation rejects *every* invalid timeline
+    the scenario generator's template space could express — unknown
+    AfterEvent tags, trigger cycles of any length, negative
+    delays/offsets/sustains — each with a clear error message.
+    ``FaultSchedule.validate()`` runs the same checks env-free."""
+
+    TAGS = ("t0", "t1", "t2", "t3")
+
+    @given(known=st.lists(st.sampled_from(TAGS), unique=True,
+                          min_size=0, max_size=4),
+           delay=st.floats(min_value=0.0, max_value=60.0,
+                           allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_unknown_after_tag_always_rejected(self, known, delay):
+        s = FaultSchedule()
+        for i, tag in enumerate(known):
+            s.inject(float(i + 1), "RevokeAuth", ("mongodb-geo",), tag=tag)
+        s.after("ghost", "PodFailure", ("recommendation",), delay=delay)
+        with pytest.raises(ValueError, match="unknown tag 'ghost'"):
+            s.validate()
+
+    @given(length=st.integers(min_value=1, max_value=4),
+           extra_valid=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_of_any_length_rejected(self, length, extra_valid):
+        """Self-cycles (length 1) through 4-hop loops all fail, even when
+        valid entries surround the cycle."""
+        s = FaultSchedule()
+        if extra_valid:
+            s.inject(1.0, "RevokeAuth", ("mongodb-geo",), tag="root")
+            s.after("root", "NetworkLoss", ("search",), delay=5.0)
+        for j in range(length):
+            s.after(f"c{(j + 1) % length}", "RevokeAuth", ("mongodb-geo",),
+                    delay=1.0, new_tag=f"c{j}")
+        with pytest.raises(ValueError, match="cycle"):
+            s.validate()
+
+    @given(bad=st.floats(max_value=-1e-6, min_value=-1e6,
+                         allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_negative_times_rejected_at_construction(self, bad):
+        """Negative offsets/delays/sustains never even reach arm(): the
+        trigger layer rejects them when the timeline is built."""
+        from repro.faults import AfterEvent, MetricAbove
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultSchedule().inject(bad, "RevokeAuth", ("mongodb-geo",))
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultSchedule().set_rate(bad, ConstantRate(10.0))
+        with pytest.raises(ValueError, match=">= 0"):
+            AfterEvent("x", delay=bad)
+        with pytest.raises(ValueError, match=">= 0"):
+            MetricAbove("frontend", "error_rate", 1.0, sustain_s=bad)
+
+    @given(tags=st.lists(st.sampled_from(TAGS), unique=True,
+                         min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_chains_pass_and_validate_chains(self, tags):
+        """Acyclic tag chains validate; validate() returns the schedule
+        so it composes with arm()."""
+        s = FaultSchedule()
+        s.inject(1.0, "RevokeAuth", ("mongodb-geo",), tag=tags[0])
+        for up, down in zip(tags, tags[1:]):
+            s.after(up, "RevokeAuth", ("mongodb-geo",), delay=2.0,
+                    new_tag=down)
+        assert s.validate() is s
+
+
+class TestSustainedTrigger:
     def test_sustained_trigger_holds_out_for_window(self, env):
         from repro.faults import FaultSchedule, MetricAbove
         armed = (FaultSchedule()

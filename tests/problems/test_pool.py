@@ -1,7 +1,8 @@
 import pytest
 
 from repro.problems import (
-    benchmark_pids, get_problem, list_problems, noop_pids, pool_summary,
+    benchmark_pids, generated_pool, get_problem, list_problems, noop_pids,
+    pool_summary, scenario_pids, split_pid,
 )
 
 
@@ -47,6 +48,59 @@ class TestPoolComposition:
 
     def test_list_problems_include_noop(self):
         assert len(list_problems(include_noop=True)) == 50
+
+
+class TestPidGrammar:
+    """One grammar for every pool: ``stem-task-index`` with a hyphen-free
+    stem; the task filter parses it instead of substring-matching."""
+
+    def test_every_pool_pid_parses(self):
+        pids = (benchmark_pids() + noop_pids() + scenario_pids()
+                + generated_pool(30, seed=0))
+        for pid in pids:
+            parsed = split_pid(pid)
+            assert parsed is not None, pid
+            stem, task, index = parsed
+            assert stem and "-" not in stem
+            assert index >= 1
+
+    def test_split_pid_rejects_nonconforming(self):
+        for bad in ("", "detection", "stem-detection", "stem-bogus-1",
+                    "stem-detection-x", "-detection-1",
+                    "two-part-stem-detection-1"):
+            assert split_pid(bad) is None, bad
+
+    def test_filter_parses_task_field_exactly(self):
+        """A stem *containing* a task name must not leak through the
+        filter (the old substring check would match it)."""
+        trap = "fake_detection_stem-mitigation-1"
+        assert "-detection-" not in trap  # guard: trap is substring-proof
+        assert split_pid(trap) == ("fake_detection_stem", "mitigation", 1)
+        parsed = split_pid("user_unregistered_hotel_res-detection-1")
+        assert parsed == ("user_unregistered_hotel_res", "detection", 1)
+
+    def test_filter_covers_generated_pids(self):
+        pids = generated_pool(21, seed=0)
+        by_task = {t: [p for p in pids if split_pid(p)[1] == t]
+                   for t in ("detection", "localization", "mitigation")}
+        # the filter result partitions exactly on the parsed field
+        all_listed = list_problems(include_noop=True)
+        for task, members in by_task.items():
+            listed = list_problems(task)
+            assert all(split_pid(p)[1] == task for p in listed)
+            assert not set(members) & set(all_listed)  # pools stay separate
+
+    def test_unknown_task_type_raises(self):
+        with pytest.raises(ValueError, match="unknown task type"):
+            list_problems("deteccion")
+
+    def test_scenario_pids_generated_mode(self):
+        hand = scenario_pids()
+        assert scenario_pids(n=None) == hand
+        gen = scenario_pids(n=12, seed=5)
+        assert len(gen) == 12
+        assert gen == scenario_pids(n=12, seed=5)
+        assert not set(gen) & set(hand)
 
 
 class TestProblemInstantiation:
